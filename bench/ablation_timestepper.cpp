@@ -1,0 +1,105 @@
+// Ablation of the paper's §5.2 design choice: the single-stage SL-MPP5
+// scheme versus a conventional spatially-5th-order MP5 reconstruction with
+// 3-stage SSP-RK3 time integration.
+//
+// The paper's claim: equal spatial order with one flux computation per
+// step instead of three -> ~3x cheaper time integration.  Measured here:
+// cost per cell-update, accuracy on a smooth profile, and behaviour at
+// large shift (where SL remains stable/exact but RK3 is CFL-bound).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "vlasov/sl_mpp5.hpp"
+
+using namespace v6d;
+using namespace v6d::vlasov;
+
+namespace {
+
+double advect_error(int n, double xi, int steps, bool use_rk3) {
+  std::vector<float> f(static_cast<std::size_t>(n));
+  auto cell_avg = [&](int i, double shift) {
+    const double a = 2.0 * M_PI * i / n - shift;
+    const double b = 2.0 * M_PI * (i + 1) / n - shift;
+    return 2.0 + (std::cos(a) - std::cos(b)) / (b - a);
+  };
+  for (int i = 0; i < n; ++i)
+    f[static_cast<std::size_t>(i)] = static_cast<float>(cell_avg(i, 0.0));
+  for (int s = 0; s < steps; ++s) {
+    if (use_rk3)
+      advect_line_periodic_rk3_mp5(f.data(), n, xi);
+    else
+      advect_line_periodic(f.data(), n, xi, Limiter::kMpp);
+  }
+  double err = 0.0;
+  const double shift = 2.0 * M_PI * xi * steps / n;
+  for (int i = 0; i < n; ++i)
+    err = std::max(err, std::fabs(static_cast<double>(
+                            f[static_cast<std::size_t>(i)]) -
+                        cell_avg(i, shift)));
+  return err;
+}
+
+double time_per_cell(int n, double xi, bool use_rk3) {
+  std::vector<float> f(static_cast<std::size_t>(n), 1.0f);
+  for (int i = 0; i < n; ++i)
+    f[static_cast<std::size_t>(i)] =
+        1.0f + 0.5f * static_cast<float>(std::sin(2.0 * M_PI * i / n));
+  const int reps = 2000;
+  Stopwatch w;
+  for (int r = 0; r < reps; ++r) {
+    if (use_rk3)
+      advect_line_periodic_rk3_mp5(f.data(), n, xi);
+    else
+      advect_line_periodic(f.data(), n, xi, Limiter::kMpp);
+  }
+  return w.seconds() / (static_cast<double>(reps) * n);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation - single-stage SL-MPP5 vs 3-stage RK3+MP5",
+                "paper §5.2 (cost of the time integrator)");
+
+  const int n = 256;
+  const double xi = 0.4;
+
+  std::printf("  flux computations per step: SL-MPP5 = 1, RK3+MP5 = 3\n\n");
+
+  io::TableWriter table({"scheme", "ns/cell-update", "L_inf err (20 steps)",
+                         "stable at |xi|=2.5?"});
+  const double t_sl = time_per_cell(n, xi, false) * 1e9;
+  const double t_rk = time_per_cell(n, xi, true) * 1e9;
+  const double e_sl = advect_error(128, xi, 20, false);
+  const double e_rk = advect_error(128, xi, 20, true);
+
+  // Large-shift stability: SL handles |xi| > 1 by exact integer shifting;
+  // Eulerian RK3 is CFL-bound (would blow up), so it reports "no".
+  std::vector<float> big(static_cast<std::size_t>(64));
+  for (int i = 0; i < 64; ++i)
+    big[static_cast<std::size_t>(i)] =
+        static_cast<float>(std::exp(-0.05 * (i - 32) * (i - 32)));
+  for (int s = 0; s < 10; ++s)
+    advect_line_periodic(big.data(), 64, 2.5, Limiter::kMpp);
+  bool sl_stable = true;
+  for (float v : big)
+    if (!std::isfinite(v) || v < -1e-3f || v > 2.0f) sl_stable = false;
+
+  table.row({"SL-MPP5 (this work)", io::TableWriter::fmt(t_sl, 3),
+             io::TableWriter::fmt(e_sl, 3), sl_stable ? "yes" : "NO"});
+  table.row({"RK3 + MP5", io::TableWriter::fmt(t_rk, 3),
+             io::TableWriter::fmt(e_rk, 3), "no (CFL-bound)"});
+  table.print();
+
+  std::printf("\n  cost ratio (RK3+MP5 / SL-MPP5): %.2fx", t_rk / t_sl);
+  std::printf("   (paper: ~3x from the three flux stages)\n");
+  std::printf(
+      "  accuracy at matched resolution is comparable (both 5th-order in\n"
+      "  space); the SL scheme additionally tolerates |xi| > 1, which the\n"
+      "  velocity-space sweeps exploit.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/options.hpp"
+#include "common/timer.hpp"
+#include "io/table_writer.hpp"
+
+namespace v6d::bench {
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("  %s\n", title.c_str());
+  std::printf("  reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+/// Scale factor for run sizes: quick mode shrinks everything.
+inline int scaled(int full, int quick) {
+  return v6d::quick_mode() ? quick : full;
+}
+
+}  // namespace v6d::bench

@@ -1,0 +1,88 @@
+// FFT substrate scaling — the communication behaviour behind the paper's
+// PM rows in Tables 3-4.
+//
+// Runs the slab-decomposed parallel 3-D FFT at 1-4 ranks on the simulated
+// runtime, reporting wall time and measured alltoall traffic, plus the
+// modeled per-rank behaviour of a 2-D (pencil) layout at the paper's
+// process counts: per-rank transpose volume ~ N^3/P while message count
+// grows ~ P — exactly the latency-bound regime that caps the PM part's
+// efficiency at scale.
+#include <cstdio>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "comm/perfmodel.hpp"
+#include "comm/runner.hpp"
+#include "fft/parallel_fft.hpp"
+
+using namespace v6d;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  bench::banner("FFT scaling - slab-decomposed parallel transform",
+                "paper §5.1.3 / Table 3-4 PM rows (SSL II role)");
+
+  const int n = opt.get_int("n", bench::scaled(48, 24));
+  std::printf("  grid %d^3, forward+inverse per measurement\n\n", n);
+
+  io::TableWriter table({"ranks", "wall [s]", "bytes sent/rank",
+                         "msgs/rank"});
+  for (int ranks : {1, 2, 3, 4}) {
+    double wall = 0.0;
+    std::uint64_t bytes = 0, msgs = 0;
+    std::mutex m;
+    comm::run(ranks, [&](comm::Communicator& comm) {
+      fft::ParallelFft3D pfft(comm, n);
+      std::vector<fft::cplx> local(
+          static_cast<std::size_t>(pfft.local_nx()) * n * n,
+          fft::cplx(1.0, 0.5));
+      comm.reset_traffic_counters();
+      comm.barrier();
+      Stopwatch w;
+      pfft.forward(local);
+      pfft.inverse_normalized(local);
+      comm.barrier();
+      std::lock_guard<std::mutex> lock(m);
+      wall = std::max(wall, w.seconds());
+      bytes = std::max(bytes, comm.bytes_sent());
+      msgs = std::max(msgs, comm.messages_sent());
+    });
+    table.row({std::to_string(ranks), io::TableWriter::fmt(wall, 3),
+               io::TableWriter::fmt(static_cast<double>(bytes), 3),
+               std::to_string(msgs)});
+  }
+  table.print();
+
+  std::printf(
+      "\n  modeled pencil-decomposed transpose at the paper's PM scales\n"
+      "  (alpha-beta network, per-rank volume and latency terms):\n\n");
+  comm::NetworkModel net;
+  io::TableWriter model({"run", "N_PM", "FFT ranks (nx*ny)",
+                         "volume/rank [MB]", "transpose model [s]"});
+  struct Entry {
+    const char* run;
+    int npm;
+    long ranks;
+  };
+  for (const Entry& e : {Entry{"S2", 288, 144}, Entry{"M16", 576, 576},
+                         Entry{"L128", 1152, 2304},
+                         Entry{"H1024", 2304, 9216}}) {
+    const double points = std::pow(static_cast<double>(e.npm), 3);
+    const double vol = points * 16.0 / static_cast<double>(e.ranks);
+    const double t = net.alltoall_time(
+        static_cast<int>(std::min<long>(e.ranks, 1024)),
+        static_cast<std::uint64_t>(vol / std::min<double>(
+                                             static_cast<double>(e.ranks),
+                                             1024.0)));
+    model.row({e.run, std::to_string(e.npm) + "^3", std::to_string(e.ranks),
+               io::TableWriter::fmt(vol / 1e6, 3),
+               io::TableWriter::fmt(t, 3)});
+  }
+  model.print();
+  std::printf(
+      "\n  shape: per-rank volume shrinks with rank count but the number\n"
+      "  of latency-bound messages grows, so the transpose stops scaling —\n"
+      "  the paper's PM row drops to 17%% weak efficiency at H1024 while\n"
+      "  everything else stays near-ideal.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig. 5: the local velocity distribution function at one spatial cell.
+//
+// The Vlasov representation resolves a smooth long-tailed f(ux, uy) over
+// several decades; N-body particles in the same cell sample it with a
+// handful of points.  The bench prints tail-resolution metrics of the
+// Vlasov slice and the particle count available to an N-body run, and
+// writes the slice as CSV/PGM.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cosmology/neutrino_ic.hpp"
+#include "diagnostics/vdf_probe.hpp"
+#include "hybrid_setup.hpp"
+#include "io/pgm.hpp"
+
+using namespace v6d;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  bench::banner("Fig. 5 - velocity distribution at a single cell",
+                "paper Fig. 5");
+
+  bench::HybridRunConfig cfg;
+  cfg.nx = opt.get_int("nx", bench::scaled(8, 6));
+  cfg.nu = opt.get_int("nu", bench::scaled(16, 10));
+  cfg.cdm_per_side = opt.get_int("np", bench::scaled(16, 12));
+  cfg.a_final = opt.get_double("a_final", 0.5);
+  std::printf("  running hybrid simulation to a = %.2f ...\n", cfg.a_final);
+  auto run = bench::make_hybrid_run(cfg);
+  bench::evolve(run, cfg);
+
+  const int probe = cfg.nx / 2;
+  const auto slice =
+      diag::probe_vdf(run.solver->neutrinos(), probe, probe, probe);
+
+  // The paper's comparison: neutrino particles in the same cell of a
+  // TianNu-like N-body run with 8x the CDM particle count.
+  cosmo::PowerSpectrum ps(run.params);
+  cosmo::NeutrinoIcOptions nopt;
+  nopt.a_init = cfg.a_init;
+  nopt.seed = cfg.seed;
+  const int nu_np = 2 * cfg.cdm_per_side;  // 8x count
+  auto nu_particles =
+      cosmo::sample_neutrino_particles(ps, cfg.box, nu_np, run.u_th, nopt);
+  const auto in_cell = diag::particles_in_cell(nu_particles, cfg.box, cfg.nx,
+                                               probe, probe, probe);
+
+  io::TableWriter table({"quantity", "Vlasov", "N-body (8x particles)"});
+  table.row({"velocity samples in cell",
+             std::to_string(static_cast<long>(slice.values.size()) *
+                            run.solver->neutrinos().dims().nuz),
+             std::to_string(in_cell.ux.size())});
+  table.row({"f decades resolved",
+             io::TableWriter::fmt(slice.resolved_decades(), 3),
+             in_cell.ux.size() > 0
+                 ? io::TableWriter::fmt(
+                       std::log10(static_cast<double>(in_cell.ux.size())), 2)
+                 : "0"});
+  table.print();
+
+  // Radial profile of the slice: smooth decay over the FD tail.
+  std::printf("\n  f(|u|) radial profile at the probed cell (u in km/s):\n");
+  const auto& f = run.solver->neutrinos();
+  const auto& g = f.geom();
+  io::TableWriter profile({"|u| [km/s]", "f (arb.)", "f/f_peak"});
+  const double peak = slice.max();
+  for (int a = slice.nux / 2; a < slice.nux; ++a) {
+    const double u = g.ux(a) * 100.0;  // code units -> km/s
+    const double val = slice.at(a, slice.nuy / 2);
+    profile.row({io::TableWriter::fmt(u, 3), io::TableWriter::fmt(val, 3),
+                 io::TableWriter::fmt(peak > 0 ? val / peak : 0.0, 3)});
+  }
+  profile.print();
+
+  io::write_csv("fig5_vdf_slice.csv", diag::Map2D{slice.nux, slice.nuy,
+                                                  slice.values});
+  std::printf(
+      "\n  paper claim: the Vlasov f is smooth with a resolved multi-decade\n"
+      "  tail and substructure, while the particle sampling (open circles\n"
+      "  in the paper's figure) cannot even discern the tail: here the\n"
+      "  Vlasov slice resolves %.1f decades vs %zu particle samples.\n",
+      slice.resolved_decades(), in_cell.ux.size());
+  std::printf("  slice written to fig5_vdf_slice.csv\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 8: multi-scale density maps of the largest (U1024-like) run —
+// CDM and neutrinos at nested zoom levels (full box, 1/4 box, 1/10 box in
+// the paper; full, 1/2, 1/4 here).
+//
+// Checks: structure is resolved at every zoom level; the neutrino field
+// remains smooth relative to CDM at each level; clustering contrast grows
+// toward smaller scales for CDM much faster than for neutrinos.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "diagnostics/projections.hpp"
+#include "hybrid_setup.hpp"
+#include "io/pgm.hpp"
+
+using namespace v6d;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  bench::banner("Fig. 8 - multi-scale density maps of the largest run",
+                "paper Fig. 8 (run U1024, 1200 Mpc/h box)");
+
+  bench::HybridRunConfig cfg;
+  cfg.box = 1200.0;  // the paper's TTS/U-run box
+  cfg.nx = opt.get_int("nx", bench::scaled(16, 8));
+  cfg.nu = opt.get_int("nu", bench::scaled(10, 8));
+  cfg.cdm_per_side = opt.get_int("np", bench::scaled(24, 12));
+  cfg.a_final = opt.get_double("a_final", bench::scaled(10, 5) / 10.0);
+  cfg.da_max = 0.05;
+
+  std::printf("  running the largest feasible hybrid box (%.0f Mpc/h, %d^3 x %d^3)...\n",
+              cfg.box, cfg.nx, cfg.nu);
+  auto run = bench::make_hybrid_run(cfg);
+  bench::evolve(run, cfg);
+  std::printf("    %d steps to a = %.2f\n\n", run.steps_taken, cfg.a_final);
+
+  const auto& cdm = run.solver->cdm_density();
+  const auto& nu = run.solver->nu_density();
+
+  io::TableWriter table({"zoom", "scale [Mpc/h]", "CDM contrast",
+                         "nu contrast", "ratio"});
+  struct Zoom {
+    const char* name;
+    double frac;
+  };
+  for (const Zoom& zoom : {Zoom{"full box", 1.0}, Zoom{"1/2", 0.5},
+                           Zoom{"1/4", 0.25}}) {
+    const int hi = std::max(2, static_cast<int>(cfg.nx * zoom.frac));
+    const auto cdm_map = diag::project_z_region(cdm, 0, hi);
+    const auto nu_map = diag::project_z_region(nu, 0, hi);
+    const double c_cdm = cdm_map.log_contrast_rms();
+    const double c_nu = nu_map.log_contrast_rms();
+    table.row({zoom.name, io::TableWriter::fmt(cfg.box * zoom.frac, 4),
+               io::TableWriter::fmt(c_cdm, 3), io::TableWriter::fmt(c_nu, 3),
+               io::TableWriter::fmt(c_nu / std::max(1e-12, c_cdm), 3)});
+
+    char name[64];
+    std::snprintf(name, sizeof(name), "fig8_cdm_zoom%.0f.pgm",
+                  1.0 / zoom.frac);
+    io::write_pgm(name, diag::log_overdensity(cdm_map));
+    std::snprintf(name, sizeof(name), "fig8_nu_zoom%.0f.pgm",
+                  1.0 / zoom.frac);
+    io::write_pgm(name, diag::log_overdensity(nu_map));
+  }
+  table.print();
+
+  std::printf(
+      "\n  paper claim: the hybrid approach covers a significant fraction\n"
+      "  of the observable universe while resolving nonlinear structure;\n"
+      "  the neutrino maps stay much smoother than CDM at every zoom\n"
+      "  (ratio << 1 in the last column).  Maps: fig8_{cdm,nu}_zoom*.pgm\n");
+  return 0;
+}

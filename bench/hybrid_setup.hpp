@@ -1,0 +1,92 @@
+// Shared cosmological-run setup for the figure benches (4, 5, 6, 8) and
+// the time-to-solution comparison.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "cosmology/neutrino_ic.hpp"
+#include "cosmology/zeldovich.hpp"
+#include "hybrid/hybrid_solver.hpp"
+#include "nbody/nbody_solver.hpp"
+
+namespace v6d::bench {
+
+struct HybridRunConfig {
+  double box = 200.0;          // h^-1 Mpc (the paper's Fig. 4 box)
+  double m_nu_ev = 0.4;        // total neutrino mass
+  int nx = 12;                 // Vlasov spatial grid per side
+  int nu = 12;                 // velocity grid per side
+  int cdm_per_side = 24;       // CDM particles per side
+  double a_init = 1.0 / 11.0;  // z = 10
+  double a_final = 1.0;        // z = 0
+  double da_max = 0.04;
+  std::uint64_t seed = 2021;
+  bool verbose = false;
+};
+
+struct HybridRun {
+  cosmo::Params params;
+  std::unique_ptr<hybrid::HybridSolver> solver;
+  double u_th = 0.0;
+  int steps_taken = 0;
+};
+
+inline HybridRun make_hybrid_run(const HybridRunConfig& cfg) {
+  HybridRun run;
+  run.params = cosmo::Params::planck2015(cfg.m_nu_ev);
+  cosmo::PowerSpectrum ps(run.params);
+  cosmo::Background bg(run.params);
+
+  cosmo::ZeldovichOptions zopt;
+  zopt.particles_per_side = cfg.cdm_per_side;
+  zopt.a_init = cfg.a_init;
+  zopt.seed = cfg.seed;
+  auto ics = cosmo::zeldovich_ics(ps, cfg.box, zopt);
+
+  run.u_th =
+      cosmo::neutrino_thermal_velocity(run.params.m_nu_total_ev / 3.0);
+  cosmo::NeutrinoIcOptions nopt;
+  nopt.a_init = cfg.a_init;
+  nopt.seed = cfg.seed;
+  auto fields = cosmo::neutrino_linear_fields(ps, cfg.box, cfg.nx, nopt);
+
+  vlasov::PhaseSpaceDims dims;
+  dims.nx = dims.ny = dims.nz = cfg.nx;
+  dims.nux = dims.nuy = dims.nuz = cfg.nu;
+  vlasov::PhaseSpaceGeometry geom;
+  geom.dx = geom.dy = geom.dz = cfg.box / cfg.nx;
+  geom.umax = nopt.umax_over_uth * run.u_th;
+  geom.dux = geom.duy = geom.duz = 2.0 * geom.umax / cfg.nu;
+  vlasov::PhaseSpace f(dims, geom);
+  cosmo::initialize_neutrino_phase_space(f, run.params, run.u_th,
+                                         fields.delta, &fields.bulk_x,
+                                         &fields.bulk_y, &fields.bulk_z);
+
+  hybrid::HybridOptions opt;
+  opt.pm_grid = cfg.nx;
+  opt.treepm.theta = 0.6;
+  opt.treepm.eps_cells = 0.1;
+  run.solver = std::make_unique<hybrid::HybridSolver>(
+      std::move(f), std::move(ics.particles), cfg.box, bg, opt);
+  return run;
+}
+
+/// Evolve to a_final with CFL-limited steps; returns steps taken.
+inline int evolve(HybridRun& run, const HybridRunConfig& cfg) {
+  double a = cfg.a_init;
+  int steps = 0;
+  while (a < cfg.a_final - 1e-12) {
+    double a1 = run.solver->suggest_next_a(a, cfg.da_max);
+    a1 = std::min(a1, cfg.a_final);
+    run.solver->step(a, a1);
+    a = a1;
+    ++steps;
+    if (cfg.verbose && steps % 10 == 0)
+      std::printf("    ... a = %.3f (%d steps)\n", a, steps);
+  }
+  run.steps_taken = steps;
+  return steps;
+}
+
+}  // namespace v6d::bench

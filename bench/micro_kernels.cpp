@@ -1,0 +1,76 @@
+// Micro-benchmarks of the building blocks: the in-register transpose (the
+// LAT primitive, §5.3 Fig. 3), the SL-MPP5 line kernel, and the FFT.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fft/fft1d.hpp"
+#include "simd/transpose.hpp"
+#include "vlasov/advect_kernels.hpp"
+
+namespace {
+
+using namespace v6d;
+
+void BM_TransposeTile(benchmark::State& state) {
+  constexpr int L = simd::kNativeFloatWidth;
+  std::vector<float> src(L * 64), dst(L * 64);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<float>(i);
+  for (auto _ : state) {
+    simd::transpose_tile<float, L>(src.data(), 64, dst.data(), 64);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.counters["elements/s"] = benchmark::Counter(
+      L * L, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_TransposeTile);
+
+void BM_SlMpp5Line(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> f(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    f[static_cast<std::size_t>(i)] =
+        static_cast<float>(std::exp(-0.01 * (i - n / 2.0) * (i - n / 2.0)));
+  for (auto _ : state) {
+    vlasov::advect_line_periodic(f.data(), n, 0.37, vlasov::Limiter::kMpp);
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      n, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SlMpp5Line)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SlMpp5SimdLines(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  constexpr int L = vlasov::kLanes;
+  std::vector<float> f(static_cast<std::size_t>(n) * L);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = 0.5f + 0.3f * static_cast<float>(std::sin(0.05 * i));
+  vlasov::AdvectWorkspace ws;
+  for (auto _ : state) {
+    vlasov::advect_lines_simd(f.data(), L, f.data(), L, n, 0.37,
+                              vlasov::Limiter::kMpp,
+                              vlasov::GhostMode::kZero, ws);
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(n) * L,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SlMpp5SimdLines)->Arg(64)->Arg(256);
+
+void BM_Fft1d(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  fft::FftPlan plan(n);
+  std::vector<fft::cplx> x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    x[static_cast<std::size_t>(i)] = fft::cplx(std::sin(0.3 * i), 0.0);
+  for (auto _ : state) {
+    plan.forward(x.data());
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_Fft1d)->Arg(64)->Arg(128)->Arg(288)->Arg(97);
+
+}  // namespace

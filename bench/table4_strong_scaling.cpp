@@ -1,0 +1,93 @@
+// Table 4 / Fig. 7 (right): strong scaling efficiencies within the S, M,
+// L and H run groups (fixed problem size, growing node count).
+//
+// Efficiency between the smallest and largest member of a group:
+//   eff = T(first) * nodes(first) / (T(last) * nodes(last)).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "scaling_harness.hpp"
+
+using namespace v6d;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  bench::banner("Table 4 - strong scaling efficiencies",
+                "paper Table 4 and Fig. 7 right panel");
+
+  // ---------------- (a) real runs: fixed global grid ----------------
+  {
+    std::printf("  (a) measured parallel Vlasov step, fixed global grid\n\n");
+    const int nx_global = opt.get_int("nx", bench::scaled(12, 8));
+    const int nu = opt.get_int("nu", bench::scaled(10, 6));
+    const int steps = opt.get_int("steps", 2);
+    io::TableWriter table({"ranks", "step [s]", "halo [s]",
+                           "work-efficiency"});
+    double t1 = 0.0;
+    for (int ranks : {1, 2, 4, 8}) {
+      const auto r = bench::measure_real_vlasov(
+          ranks, {nx_global, nx_global, nx_global}, nu, steps);
+      if (ranks == 1) t1 = r.step_seconds;
+      // Work-based efficiency: serial time / (ranks * parallel time); on a
+      // 2-core host, >2 ranks oversubscribe, so compare against the
+      // per-rank compute share instead of ideal wall time.
+      const double eff = t1 / (ranks * r.step_seconds);
+      table.row({std::to_string(ranks), io::TableWriter::fmt(r.step_seconds, 3),
+                 io::TableWriter::fmt(r.comm_seconds, 3),
+                 io::TableWriter::fmt_pct(eff)});
+    }
+    table.print();
+    std::printf(
+        "      (with 2 physical cores, wall-clock efficiency saturates at\n"
+        "       ~2 ranks; the halo volume column shows the surface-to-\n"
+        "       volume growth that drives strong-scaling losses)\n");
+  }
+
+  // ---------------- (b) full-scale model ----------------
+  std::printf("\n  (b) modeled at the paper's scale\n\n");
+  const auto rates = bench::measure_host_rates();
+  comm::NetworkModel net;
+  const auto runs = bench::paper_run_table();
+
+  std::map<std::string, std::vector<const bench::RunConfig*>> groups;
+  for (const auto& c : runs) {
+    if (c.id[0] == 'U') continue;  // U1024 is a TTS run, not a scaling group
+    groups[c.id.substr(0, 1)].push_back(&c);
+  }
+
+  io::TableWriter table({"part", "S", "M", "L", "H"});
+  std::vector<std::vector<std::string>> rows(4);
+  rows[0] = {"total"};
+  rows[1] = {"Vlasov"};
+  rows[2] = {"tree"};
+  rows[3] = {"PM"};
+  for (const auto& key : {"S", "M", "L", "H"}) {
+    const auto& group = groups[key];
+    const auto first = bench::model_step(*group.front(), rates, net);
+    const auto last = bench::model_step(*group.back(), rates, net);
+    const double nr = static_cast<double>(group.back()->nodes) /
+                      static_cast<double>(group.front()->nodes);
+    auto eff = [&](auto getter) {
+      return io::TableWriter::fmt_pct(getter(first) / (getter(last) * nr));
+    };
+    rows[0].push_back(eff([](const bench::PartTimes& t) { return t.total(); }));
+    rows[1].push_back(eff([](const bench::PartTimes& t) {
+      return t.vlasov + t.comm_vlasov;
+    }));
+    rows[2].push_back(eff([](const bench::PartTimes& t) {
+      return t.tree + t.comm_nbody;
+    }));
+    rows[3].push_back(eff([](const bench::PartTimes& t) { return t.pm; }));
+  }
+  for (auto& row : rows) table.row(std::move(row));
+  table.print();
+
+  std::printf(
+      "\n  paper Table 4:  total 87.7 / 93.3 / 91.1 / 82.4%%,\n"
+      "  Vlasov 87.5 / 93.9 / 99.6 / 93.0%%, tree 90.9 / 97.1 / 85.7 / 77.5%%,\n"
+      "  PM 72.9 / 60.6 / 36.2 / 34.1%%.  Expected shape: Vlasov and tree\n"
+      "  strong-scale well; PM falls off because the FFT parallelism\n"
+      "  (nx*ny) is constant within each group.\n");
+  return 0;
+}

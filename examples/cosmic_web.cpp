@@ -1,0 +1,101 @@
+// Pure N-body cosmic-web formation with the TreePM solver — the CDM
+// substrate of the hybrid code running standalone (paper §5.1.2).
+//
+// Evolves Zel'dovich initial conditions to the target epoch, prints the
+// growth of clustering versus linear theory, and writes a projected
+// density map of the emerging web.
+//
+//   ./examples/cosmic_web [np=20] [pm=20] [a_final=0.5] [box=150]
+#include <cmath>
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "cosmology/zeldovich.hpp"
+#include "diagnostics/projections.hpp"
+#include "diagnostics/spectra.hpp"
+#include "io/pgm.hpp"
+#include "mesh/deposit.hpp"
+#include "nbody/nbody_solver.hpp"
+
+using namespace v6d;
+
+namespace {
+
+mesh::Grid3D<double> density_of(const nbody::Particles& p, double box,
+                                int n) {
+  mesh::Grid3D<double> rho(n, n, n, 2);
+  mesh::MeshPatch patch;
+  patch.box = box;
+  patch.n_global = n;
+  mesh::deposit(rho, patch, p.x, p.y, p.z, p.mass, mesh::Assignment::kCic);
+  rho.fold_ghosts_periodic();
+  return rho;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  const int np = opt.get_int("np", 20);
+  const int pm = opt.get_int("pm", 20);
+  const double a_final = opt.get_double("a_final", 0.5);
+  const double box = opt.get_double("box", 150.0);
+  const double a_init = 0.1;
+
+  cosmo::Params params = cosmo::Params::planck2015(0.0);
+  cosmo::PowerSpectrum ps(params);
+  cosmo::Background bg(params);
+
+  std::printf("cosmic_web: %d^3 particles, PM %d^3, box %.0f Mpc/h\n", np,
+              pm, box);
+  cosmo::ZeldovichOptions zopt;
+  zopt.particles_per_side = np;
+  zopt.a_init = a_init;
+  zopt.seed = 31;
+  auto ics = cosmo::zeldovich_ics(ps, box, zopt);
+
+  nbody::NBodySolverOptions nopt;
+  nopt.treepm.pm_grid = pm;
+  nopt.treepm.theta = 0.6;
+  nopt.treepm.eps_cells = 0.15;
+  nbody::NBodySolver solver(box, bg, nopt);
+  solver.set_cdm(std::move(ics.particles));
+
+  const auto p0 = diag::measure_power(density_of(solver.cdm(), box, pm), box);
+
+  double a = a_init;
+  int steps = 0;
+  while (a < a_final - 1e-12) {
+    const double a1 = std::min(a + 0.05, a_final);
+    solver.step(a, a1);
+    a = a1;
+    ++steps;
+  }
+  std::printf("  evolved a=%.2f -> %.2f in %d steps\n", a_init, a_final,
+              steps);
+  std::printf("  tree time: %.2fs, PM time: %.2fs\n",
+              solver.timers().total("tree"), solver.timers().total("pm"));
+
+  const auto rho = density_of(solver.cdm(), box, pm);
+  const auto p1 = diag::measure_power(rho, box);
+  const double lin_growth =
+      std::pow(bg.growth_factor(a_final) / bg.growth_factor(a_init), 2);
+
+  std::printf("\n  clustering growth vs linear theory (P1/P0; linear = %.2f):\n",
+              lin_growth);
+  std::printf("  %-12s %-12s %s\n", "k [h/Mpc]", "measured", "vs linear");
+  for (std::size_t b = 1; b < std::min<std::size_t>(7, p0.size()); ++b) {
+    if (p0[b].modes == 0 || p0[b].power <= 0.0) continue;
+    const double growth = p1[b].power / p0[b].power;
+    std::printf("  %-12.4f %-12.2f %.2f\n", p0[b].k, growth,
+                growth / lin_growth);
+  }
+  std::printf(
+      "  (large scales track linear growth; small scales deviate from it\n"
+      "   as nonlinearity and the mesh assignment window set in — the web's\n"
+      "   filaments and halos appear in the map below.)\n");
+
+  io::write_pgm("cosmic_web.pgm", diag::log_overdensity(diag::project_z(rho)));
+  std::printf("\n  density map written to cosmic_web.pgm\n");
+  return 0;
+}

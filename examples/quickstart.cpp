@@ -1,0 +1,72 @@
+// Quickstart: a self-gravitating 6-D Vlasov run in ~40 lines.
+//
+// Sets up a warm overdense blob in a periodic box, evolves it with the
+// SL-MPP5 solver (paper Eq. 5 splitting, SIMD/LAT kernels picked
+// automatically), and prints the invariants the scheme guarantees:
+// exact mass conservation and positivity.
+//
+//   ./examples/quickstart [nx=8] [nu=10] [steps=10]
+#include <cmath>
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "vlasov/solver.hpp"
+
+using namespace v6d;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  const int nx = opt.get_int("nx", 8);
+  const int nu = opt.get_int("nu", 10);
+  const int steps = opt.get_int("steps", 10);
+
+  // Phase space: nx^3 spatial cells x nu^3 velocity cells.
+  vlasov::PhaseSpaceDims dims;
+  dims.nx = dims.ny = dims.nz = nx;
+  dims.nux = dims.nuy = dims.nuz = nu;
+  vlasov::PhaseSpaceGeometry geom;
+  const double box = 4.0;
+  geom.dx = geom.dy = geom.dz = box / nx;
+  geom.umax = 1.5;
+  geom.dux = geom.duy = geom.duz = 2.0 * geom.umax / nu;
+  vlasov::PhaseSpace f(dims, geom);
+
+  // f(x, u) = (1 + overdensity blob) * Maxwellian(sigma = 0.3).
+  for (int ix = 0; ix < nx; ++ix)
+    for (int iy = 0; iy < nx; ++iy)
+      for (int iz = 0; iz < nx; ++iz) {
+        const double rx = geom.x(ix) - 0.5 * box;
+        const double ry = geom.y(iy) - 0.5 * box;
+        const double rz = geom.z(iz) - 0.5 * box;
+        const double n = 1.0 + 0.5 * std::exp(-(rx * rx + ry * ry + rz * rz));
+        float* blk = f.block(ix, iy, iz);
+        std::size_t v = 0;
+        for (int a = 0; a < nu; ++a)
+          for (int b = 0; b < nu; ++b)
+            for (int c = 0; c < nu; ++c, ++v) {
+              const double u2 = geom.ux(a) * geom.ux(a) +
+                                geom.uy(b) * geom.uy(b) +
+                                geom.uz(c) * geom.uz(c);
+              blk[v] = static_cast<float>(n * std::exp(-u2 / (2 * 0.3 * 0.3)));
+            }
+      }
+
+  vlasov::VlasovSolverOptions options;
+  options.four_pi_g = 2.0;  // self-gravity strength in these units
+  vlasov::VlasovSolver solver(std::move(f), box, options);
+
+  const double mass0 = solver.phase_space().total_mass();
+  std::printf("quickstart: %d^3 x %d^3 grid, %d steps\n", nx, nu, steps);
+  std::printf("  initial mass: %.6e\n", mass0);
+
+  const double dt = 0.5 * solver.max_dt();
+  for (int s = 0; s < steps; ++s) {
+    solver.step(dt);
+    const double mass = solver.phase_space().total_mass();
+    std::printf("  step %2d  t=%.3f  mass drift=%+.2e  min(f)=%.2e\n", s + 1,
+                (s + 1) * dt, (mass - mass0) / mass0,
+                solver.phase_space().min_interior());
+  }
+  std::printf("done: mass conserved to float precision, f >= 0 throughout.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Two-stream collisionless instability — the paper's §8 notes the same
+// solver applies directly to plasma/kinetic problems; this example runs
+// the classic counter-streaming configuration (here with gravitational
+// coupling: the Jeans-type two-stream instability of self-gravitating
+// beams).
+//
+// Two cold beams stream through each other along x; the seeded density
+// mode grows exponentially, saturates, and winds up into the famous
+// phase-space vortex — all captured without particle noise.
+//
+//   ./examples/two_stream [nx=16] [nu=16] [steps=40]
+#include <cmath>
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "diagnostics/vdf_probe.hpp"
+#include "io/pgm.hpp"
+#include "io/table_writer.hpp"
+#include "vlasov/solver.hpp"
+
+using namespace v6d;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  const int nx = opt.get_int("nx", 16);
+  const int nu = opt.get_int("nu", 16);
+  const int steps = opt.get_int("steps", 40);
+
+  const double box = 2.0 * M_PI;  // one unstable wavelength
+  const double u_beam = 0.5, sigma = 0.08, amp = 0.02;
+
+  vlasov::PhaseSpaceDims dims;
+  dims.nx = nx;
+  dims.ny = dims.nz = 2;  // quasi-1D: dynamics along x only
+  dims.nux = nu;
+  dims.nuy = dims.nuz = 4;
+  vlasov::PhaseSpaceGeometry geom;
+  geom.dx = box / nx;
+  geom.dy = geom.dz = box / 2;
+  geom.umax = 1.5;
+  geom.dux = 2.0 * geom.umax / nu;
+  geom.duy = geom.duz = 2.0 * geom.umax / 4;
+  vlasov::PhaseSpace f(dims, geom);
+
+  for (int ix = 0; ix < dims.nx; ++ix)
+    for (int iy = 0; iy < dims.ny; ++iy)
+      for (int iz = 0; iz < dims.nz; ++iz) {
+        const double n = 1.0 + amp * std::cos(2.0 * M_PI * geom.x(ix) / box);
+        float* blk = f.block(ix, iy, iz);
+        std::size_t v = 0;
+        for (int a = 0; a < dims.nux; ++a)
+          for (int b = 0; b < dims.nuy; ++b)
+            for (int c = 0; c < dims.nuz; ++c, ++v) {
+              const double up = geom.ux(a) - u_beam;
+              const double um = geom.ux(a) + u_beam;
+              const double perp = geom.uy(b) * geom.uy(b) +
+                                  geom.uz(c) * geom.uz(c);
+              const double beams =
+                  std::exp(-up * up / (2 * sigma * sigma)) +
+                  std::exp(-um * um / (2 * sigma * sigma));
+              blk[v] = static_cast<float>(
+                  n * beams * std::exp(-perp / (2 * 0.2 * 0.2)));
+            }
+      }
+
+  // Normalize the mean density to 1 so the Jeans frequency is set by
+  // four_pi_g alone: with omega_J^2 = 4 pi G rho ~ 4 and k u_beam = 0.5
+  // the k = 1 mode sits deep in the unstable band.
+  {
+    const double volume = (dims.nx * geom.dx) * (dims.ny * geom.dy) *
+                          (dims.nz * geom.dz);
+    const float scale = static_cast<float>(volume / f.total_mass());
+    for (int ix = 0; ix < dims.nx; ++ix)
+      for (int iy = 0; iy < dims.ny; ++iy)
+        for (int iz = 0; iz < dims.nz; ++iz) {
+          float* blk = f.block(ix, iy, iz);
+          for (std::size_t v = 0; v < f.block_size(); ++v) blk[v] *= scale;
+        }
+  }
+
+  vlasov::VlasovSolverOptions options;
+  options.four_pi_g = 4.0;
+  vlasov::VlasovSolver solver(std::move(f), box, options);
+
+  std::printf("two_stream: counter-streaming beams at +-%.2f, %d steps\n",
+              u_beam, steps);
+  std::printf("  %-6s %-10s %-14s %s\n", "step", "time", "mode amp",
+              "growth/step");
+
+  const double dt = 0.4 * solver.max_dt();
+  double prev_amp = 0.0;
+  for (int s = 0; s <= steps; ++s) {
+    // Amplitude of the seeded k=1 density mode.
+    double re = 0.0, im = 0.0;
+    for (int ix = 0; ix < dims.nx; ++ix) {
+      const double rho = solver.density().at(ix, 0, 0);
+      re += rho * std::cos(2.0 * M_PI * ix / nx);
+      im += rho * std::sin(2.0 * M_PI * ix / nx);
+    }
+    const double mode = 2.0 * std::sqrt(re * re + im * im) / nx;
+    if (s % 5 == 0)
+      std::printf("  %-6d %-10.3f %-14.5e %s\n", s, s * dt, mode,
+                  prev_amp > 0
+                      ? io::TableWriter::fmt(mode / prev_amp, 3).c_str()
+                      : "-");
+    prev_amp = mode;
+    if (s < steps) solver.step(dt);
+  }
+
+  // Phase-space (x, ux) portrait: the vortex structure at saturation.
+  diag::Map2D portrait;
+  portrait.nx = dims.nx;
+  portrait.ny = dims.nux;
+  portrait.values.assign(static_cast<std::size_t>(dims.nx) * dims.nux, 0.0);
+  const auto& ps = solver.phase_space();
+  for (int ix = 0; ix < dims.nx; ++ix)
+    for (int a = 0; a < dims.nux; ++a) {
+      double acc = 0.0;
+      for (int b = 0; b < dims.nuy; ++b)
+        for (int c = 0; c < dims.nuz; ++c)
+          acc += ps.at(ix, 0, 0, a, b, c);
+      portrait.at(ix, a) = acc;
+    }
+  io::write_pgm("two_stream_phase_space.pgm", portrait);
+  std::printf(
+      "\n  phase-space (x, ux) portrait written to"
+      " two_stream_phase_space.pgm\n"
+      "  (growth then saturation of the seeded mode = the instability;\n"
+      "   the PGM shows the characteristic phase-space winding.)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "comm/cart.hpp"
+
+#include <stdexcept>
+
+namespace v6d::comm {
+
+CartTopology::CartTopology(Communicator& comm, std::array<int, 3> dims)
+    : comm_(comm), dims_(dims) {
+  if (dims[0] * dims[1] * dims[2] != comm.size())
+    throw std::invalid_argument("CartTopology: dims do not match comm size");
+  coords_ = coords_of(comm.rank());
+}
+
+std::array<int, 3> CartTopology::coords_of(int rank) const {
+  // Row-major rank ordering: rank = (cx * ny + cy) * nz + cz.
+  std::array<int, 3> c;
+  c[2] = rank % dims_[2];
+  rank /= dims_[2];
+  c[1] = rank % dims_[1];
+  c[0] = rank / dims_[1];
+  return c;
+}
+
+int CartTopology::rank_of(std::array<int, 3> coords) const {
+  auto wrap = [](int i, int n) { return ((i % n) + n) % n; };
+  return (wrap(coords[0], dims_[0]) * dims_[1] + wrap(coords[1], dims_[1])) *
+             dims_[2] +
+         wrap(coords[2], dims_[2]);
+}
+
+std::array<int, 2> CartTopology::neighbors(int axis) const {
+  std::array<int, 3> lo = coords_, hi = coords_;
+  lo[static_cast<std::size_t>(axis)] -= 1;
+  hi[static_cast<std::size_t>(axis)] += 1;
+  return {rank_of(lo), rank_of(hi)};
+}
+
+std::array<int, 3> CartTopology::choose_dims(int nranks) {
+  // Greedy near-cubic factorization: repeatedly peel the largest prime
+  // factor onto the currently smallest dimension.
+  std::array<int, 3> dims{1, 1, 1};
+  int n = nranks;
+  for (int p = 2; p * p <= n || n > 1;) {
+    if (n % p == 0) {
+      int smallest = 0;
+      for (int i = 1; i < 3; ++i)
+        if (dims[i] < dims[smallest]) smallest = i;
+      dims[smallest] *= p;
+      n /= p;
+    } else {
+      ++p;
+      if (p * p > n && n > 1) {
+        int smallest = 0;
+        for (int i = 1; i < 3; ++i)
+          if (dims[i] < dims[smallest]) smallest = i;
+        dims[smallest] *= n;
+        n = 1;
+      }
+    }
+  }
+  // Sort descending so dims[0] >= dims[1] >= dims[2].
+  if (dims[0] < dims[1]) std::swap(dims[0], dims[1]);
+  if (dims[1] < dims[2]) std::swap(dims[1], dims[2]);
+  if (dims[0] < dims[1]) std::swap(dims[0], dims[1]);
+  return dims;
+}
+
+}  // namespace v6d::comm

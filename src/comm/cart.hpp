@@ -1,0 +1,36 @@
+// Cartesian process topology (the paper's nx x ny x nz brick decomposition,
+// §5.1.3).  Mirrors MPI_Cart_create / MPI_Cart_shift semantics with fully
+// periodic boundaries (the simulation box is periodic).
+#pragma once
+
+#include <array>
+
+#include "comm/communicator.hpp"
+
+namespace v6d::comm {
+
+class CartTopology {
+ public:
+  /// dims must multiply to comm.size().
+  CartTopology(Communicator& comm, std::array<int, 3> dims);
+
+  const std::array<int, 3>& dims() const { return dims_; }
+  const std::array<int, 3>& coords() const { return coords_; }
+  std::array<int, 3> coords_of(int rank) const;
+  int rank_of(std::array<int, 3> coords) const;
+
+  /// Neighbor ranks one step along `axis`: {backward (-1), forward (+1)}.
+  std::array<int, 2> neighbors(int axis) const;
+
+  /// Pick a near-cubic factorization of `nranks` (MPI_Dims_create-like).
+  static std::array<int, 3> choose_dims(int nranks);
+
+  Communicator& comm() { return comm_; }
+
+ private:
+  Communicator& comm_;
+  std::array<int, 3> dims_;
+  std::array<int, 3> coords_;
+};
+
+}  // namespace v6d::comm

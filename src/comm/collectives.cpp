@@ -1,0 +1,132 @@
+#include <algorithm>
+#include <cstring>
+
+#include "comm/communicator.hpp"
+#include "comm/context.hpp"
+
+namespace v6d::comm {
+
+namespace {
+
+// Every collective has the shape: publish local buffer, barrier, read
+// peers, barrier.  The trailing barrier keeps a fast rank from re-staging
+// before a slow one has finished reading.
+template <class Fn>
+void staged_collective(Context* ctx, int rank, const void* local,
+                       std::size_t bytes, Fn&& consume) {
+  ctx->stage(rank, local, bytes);
+  ctx->barrier().arrive_and_wait();
+  consume();
+  ctx->barrier().arrive_and_wait();
+}
+
+template <class T>
+void allreduce_sum_impl(Context* ctx, Communicator& comm, T* data,
+                        std::size_t n) {
+  std::vector<T> local(data, data + n);
+  staged_collective(ctx, comm.rank(), local.data(), n * sizeof(T), [&] {
+    std::fill(data, data + n, T(0));
+    for (int r = 0; r < ctx->size(); ++r) {
+      const T* src = static_cast<const T*>(ctx->staged_ptr(r));
+      for (std::size_t i = 0; i < n; ++i) data[i] += src[i];
+    }
+  });
+}
+
+}  // namespace
+
+void Communicator::allreduce_sum(double* data, std::size_t n) {
+  allreduce_sum_impl(ctx_, *this, data, n);
+  bytes_sent_ += n * sizeof(double);
+}
+
+void Communicator::allreduce_sum(float* data, std::size_t n) {
+  allreduce_sum_impl(ctx_, *this, data, n);
+  bytes_sent_ += n * sizeof(float);
+}
+
+std::int64_t Communicator::allreduce_sum(std::int64_t x) {
+  std::int64_t v = x;
+  staged_collective(ctx_, rank_, &v, sizeof(v), [&] {
+    x = 0;
+    for (int r = 0; r < ctx_->size(); ++r)
+      x += *static_cast<const std::int64_t*>(ctx_->staged_ptr(r));
+  });
+  bytes_sent_ += sizeof(std::int64_t);
+  return x;
+}
+
+double Communicator::allreduce_max(double x) {
+  double v = x;
+  staged_collective(ctx_, rank_, &v, sizeof(v), [&] {
+    for (int r = 0; r < ctx_->size(); ++r)
+      x = std::max(x, *static_cast<const double*>(ctx_->staged_ptr(r)));
+  });
+  bytes_sent_ += sizeof(double);
+  return x;
+}
+
+double Communicator::allreduce_min(double x) {
+  double v = x;
+  staged_collective(ctx_, rank_, &v, sizeof(v), [&] {
+    for (int r = 0; r < ctx_->size(); ++r)
+      x = std::min(x, *static_cast<const double*>(ctx_->staged_ptr(r)));
+  });
+  bytes_sent_ += sizeof(double);
+  return x;
+}
+
+void Communicator::bcast_bytes(void* data, std::size_t bytes, int root) {
+  staged_collective(ctx_, rank_, data, bytes, [&] {
+    if (rank_ != root)
+      std::memcpy(data, ctx_->staged_ptr(root), bytes);
+  });
+  if (rank_ == root) bytes_sent_ += bytes;
+}
+
+void Communicator::allgather_bytes(const void* data, std::size_t bytes,
+                                   void* out) {
+  staged_collective(ctx_, rank_, data, bytes, [&] {
+    auto* dst = static_cast<std::uint8_t*>(out);
+    for (int r = 0; r < ctx_->size(); ++r)
+      std::memcpy(dst + static_cast<std::size_t>(r) * bytes,
+                  ctx_->staged_ptr(r), bytes);
+  });
+  bytes_sent_ += bytes;
+}
+
+void Communicator::alltoall_bytes(const void* send, void* recv,
+                                  std::size_t bytes_each) {
+  staged_collective(ctx_, rank_, send, bytes_each * ctx_->size(), [&] {
+    auto* dst = static_cast<std::uint8_t*>(recv);
+    for (int r = 0; r < ctx_->size(); ++r) {
+      const auto* src = static_cast<const std::uint8_t*>(ctx_->staged_ptr(r));
+      std::memcpy(dst + static_cast<std::size_t>(r) * bytes_each,
+                  src + static_cast<std::size_t>(rank_) * bytes_each,
+                  bytes_each);
+    }
+  });
+  bytes_sent_ += bytes_each * static_cast<std::size_t>(ctx_->size() - 1);
+}
+
+std::vector<std::vector<std::uint8_t>> Communicator::alltoallv(
+    const std::vector<std::vector<std::uint8_t>>& send) {
+  const int n = ctx_->size();
+  std::vector<std::vector<std::uint8_t>> recv(static_cast<std::size_t>(n));
+  staged_collective(ctx_, rank_, &send, 0, [&] {
+    for (int r = 0; r < n; ++r) {
+      const auto* peer =
+          static_cast<const std::vector<std::vector<std::uint8_t>>*>(
+              ctx_->staged_ptr(r));
+      recv[static_cast<std::size_t>(r)] =
+          (*peer)[static_cast<std::size_t>(rank_)];
+    }
+  });
+  for (const auto& buf : send) {
+    bytes_sent_ += buf.size();
+    if (!buf.empty()) ++messages_sent_;
+  }
+  return recv;
+}
+
+}  // namespace v6d::comm

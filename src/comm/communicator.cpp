@@ -1,0 +1,35 @@
+#include "comm/communicator.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "comm/context.hpp"
+
+namespace v6d::comm {
+
+Communicator::Communicator(Context* ctx, int rank) : ctx_(ctx), rank_(rank) {}
+
+int Communicator::size() const { return ctx_->size(); }
+
+void Communicator::send_bytes(int dest, int tag, const void* data,
+                              std::size_t bytes) {
+  std::vector<std::uint8_t> payload(bytes);
+  std::memcpy(payload.data(), data, bytes);
+  ctx_->mailbox(dest).push(rank_, tag, std::move(payload));
+  bytes_sent_ += bytes;
+  ++messages_sent_;
+}
+
+std::vector<std::uint8_t> Communicator::recv_bytes(int source, int tag) {
+  return ctx_->mailbox(rank_).pop(source, tag);
+}
+
+void Communicator::barrier() { ctx_->barrier().arrive_and_wait(); }
+
+void Communicator::throw_size_mismatch(std::size_t got, std::size_t want) {
+  throw std::runtime_error("comm: recv size mismatch: got " +
+                           std::to_string(got) + " bytes, expected " +
+                           std::to_string(want));
+}
+
+}  // namespace v6d::comm

@@ -1,0 +1,123 @@
+// Simulated MPI: an in-process message-passing runtime.
+//
+// Substitutes for MPI on Fugaku (see DESIGN.md §2).  Ranks are threads of
+// one process; the API deliberately mirrors the MPI subset the paper's code
+// needs (blocking tagged p2p, barrier, allreduce, bcast, gather, alltoall,
+// Cartesian topology), so porting to real MPI is mechanical.  All traffic
+// is counted per rank, and the scaling benches feed those measured volumes
+// into the alpha-beta network model (perfmodel.hpp) to extrapolate to the
+// paper's node counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+
+namespace v6d::comm {
+
+class Context;
+
+class Communicator {
+ public:
+  Communicator(Context* ctx, int rank);
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  // ---- point-to-point (blocking, buffered sends) ----
+  void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
+  std::vector<std::uint8_t> recv_bytes(int source, int tag);
+
+  template <class T>
+  void send(int dest, int tag, const T* data, std::size_t count) {
+    send_bytes(dest, tag, data, count * sizeof(T));
+  }
+  template <class T>
+  void recv(int source, int tag, T* data, std::size_t count) {
+    auto payload = recv_bytes(source, tag);
+    if (payload.size() != count * sizeof(T))
+      throw_size_mismatch(payload.size(), count * sizeof(T));
+    std::memcpy(data, payload.data(), payload.size());
+  }
+  /// Paired exchange (send to `dest`, receive from `source`); the buffered
+  /// send makes this deadlock-free around periodic rings.
+  template <class T>
+  void sendrecv(int dest, int send_tag, const T* send_data,
+                std::size_t send_count, int source, int recv_tag,
+                T* recv_data, std::size_t recv_count) {
+    send(dest, send_tag, send_data, send_count);
+    recv(source, recv_tag, recv_data, recv_count);
+  }
+
+  // ---- collectives (all ranks must call in matching order) ----
+  void barrier();
+
+  /// Element-wise sum-reduction of `n` values in place across all ranks.
+  void allreduce_sum(double* data, std::size_t n);
+  void allreduce_sum(float* data, std::size_t n);
+  double allreduce_sum(double x) {
+    allreduce_sum(&x, 1);
+    return x;
+  }
+  double allreduce_max(double x);
+  double allreduce_min(double x);
+  std::int64_t allreduce_sum(std::int64_t x);
+
+  void bcast_bytes(void* data, std::size_t bytes, int root);
+  template <class T>
+  void bcast(T* data, std::size_t count, int root) {
+    bcast_bytes(data, count * sizeof(T), root);
+  }
+
+  /// Gathers `count` elements from every rank; result (size*count) valid on
+  /// every rank (allgather semantics).
+  template <class T>
+  std::vector<T> allgather(const T* data, std::size_t count) {
+    std::vector<T> out(static_cast<std::size_t>(size()) * count);
+    allgather_bytes(data, count * sizeof(T), out.data());
+    return out;
+  }
+
+  /// Personalized all-to-all: block i of `send` (count elements) goes to
+  /// rank i; block j of `recv` arrives from rank j.
+  template <class T>
+  void alltoall(const T* send, T* recv, std::size_t count) {
+    alltoall_bytes(send, recv, count * sizeof(T));
+  }
+
+  /// Variable all-to-all over byte buffers.
+  std::vector<std::vector<std::uint8_t>> alltoallv(
+      const std::vector<std::vector<std::uint8_t>>& send);
+
+  // ---- traffic accounting ----
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  void reset_traffic_counters() {
+    bytes_sent_ = 0;
+    messages_sent_ = 0;
+  }
+
+  Context* context() { return ctx_; }
+
+ private:
+  void allgather_bytes(const void* data, std::size_t bytes, void* out);
+  void alltoall_bytes(const void* send, void* recv, std::size_t bytes_each);
+  [[noreturn]] static void throw_size_mismatch(std::size_t got,
+                                               std::size_t want);
+
+  Context* ctx_;
+  int rank_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+/// Spawn `nranks` threads each running fn(comm).  Exceptions from rank
+/// threads are collected and the first is rethrown on the caller.
+void run(int nranks, const std::function<void(Communicator&)>& fn);
+
+}  // namespace v6d::comm

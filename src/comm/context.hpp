@@ -1,0 +1,70 @@
+// Shared state behind a group of simulated ranks (internal header).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+
+namespace v6d::comm {
+
+/// Reusable generation barrier (std::barrier without completion step,
+/// usable an unbounded number of times).
+class Barrier {
+ public:
+  explicit Barrier(int count) : count_(count), waiting_(0), generation_(0) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t gen = generation_;
+    if (++waiting_ == count_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  int count_;
+  int waiting_;
+  std::uint64_t generation_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+class Context {
+ public:
+  explicit Context(int nranks)
+      : nranks_(nranks),
+        mailboxes_(nranks),
+        barrier_(nranks),
+        stage_(nranks, nullptr),
+        stage_bytes_(nranks, 0) {}
+
+  int size() const { return nranks_; }
+  Mailbox& mailbox(int rank) { return mailboxes_[rank]; }
+  Barrier& barrier() { return barrier_; }
+
+  /// Pointer staging area used by the collectives: every rank publishes a
+  /// pointer, synchronizes, reads peers' pointers, synchronizes again.
+  void stage(int rank, const void* ptr, std::size_t bytes) {
+    stage_[rank] = ptr;
+    stage_bytes_[rank] = bytes;
+  }
+  const void* staged_ptr(int rank) const { return stage_[rank]; }
+  std::size_t staged_bytes(int rank) const { return stage_bytes_[rank]; }
+
+ private:
+  int nranks_;
+  std::vector<Mailbox> mailboxes_;
+  Barrier barrier_;
+  std::vector<const void*> stage_;
+  std::vector<std::size_t> stage_bytes_;
+};
+
+}  // namespace v6d::comm

@@ -1,0 +1,32 @@
+#include "comm/mailbox.hpp"
+
+namespace v6d::comm {
+
+void Mailbox::push(int source, int tag, std::vector<std::uint8_t> payload) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[{source, tag}].push_back(std::move(payload));
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::uint8_t> Mailbox::pop(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Key key{source, tag};
+  cv_.wait(lock, [&] {
+    auto it = queues_.find(key);
+    return it != queues_.end() && !it->second.empty();
+  });
+  auto& queue = queues_[key];
+  std::vector<std::uint8_t> payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+bool Mailbox::probe(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = queues_.find({source, tag});
+  return it != queues_.end() && !it->second.empty();
+}
+
+}  // namespace v6d::comm

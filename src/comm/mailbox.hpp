@@ -1,0 +1,34 @@
+// Tag-matched point-to-point mailboxes for the simulated MPI runtime.
+//
+// Each rank owns one Mailbox.  send() is buffered (never blocks), so halo
+// exchange cycles cannot deadlock; recv() blocks until a message with a
+// matching (source, tag) arrives.  Message order between a fixed
+// (source, tag) pair is FIFO, mirroring MPI's non-overtaking guarantee.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace v6d::comm {
+
+class Mailbox {
+ public:
+  void push(int source, int tag, std::vector<std::uint8_t> payload);
+  /// Blocks until a matching message arrives; returns its payload.
+  std::vector<std::uint8_t> pop(int source, int tag);
+  /// Non-blocking probe: true if a matching message is queued.
+  bool probe(int source, int tag);
+
+ private:
+  using Key = std::pair<int, int>;  // (source, tag)
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<std::vector<std::uint8_t>>> queues_;
+};
+
+}  // namespace v6d::comm

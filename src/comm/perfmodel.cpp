@@ -1,0 +1,20 @@
+#include "comm/perfmodel.hpp"
+
+#include <cmath>
+
+namespace v6d::comm {
+
+double NetworkModel::allreduce_time(int nranks, std::uint64_t bytes) const {
+  if (nranks <= 1) return 0.0;
+  // Recursive doubling: ceil(log2(p)) rounds of (alpha + bytes/beta).
+  const double rounds = std::ceil(std::log2(static_cast<double>(nranks)));
+  return rounds * message_time(bytes);
+}
+
+double NetworkModel::alltoall_time(int nranks,
+                                   std::uint64_t bytes_per_peer) const {
+  if (nranks <= 1) return 0.0;
+  return static_cast<double>(nranks - 1) * message_time(bytes_per_peer);
+}
+
+}  // namespace v6d::comm

@@ -1,0 +1,49 @@
+// Alpha-beta network performance model.
+//
+// The scaling experiments (Tables 3-4 / Fig. 7) ran on up to 147,456 Fugaku
+// nodes; this repo runs on one box.  The benches therefore combine
+//   * per-rank compute time, measured on this machine, and
+//   * communication volumes, measured exactly by the simulated runtime,
+// with an analytic per-message cost  t = alpha + bytes / beta  whose
+// (alpha, beta) defaults approximate a Tofu-D-class interconnect.  The model
+// reproduces the *shape* of the paper's scaling tables: halo exchange
+// (surface/volume) keeps the Vlasov part near-ideal, while the 2-D-
+// decomposed FFT's alltoall makes the PM part degrade first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace v6d::comm {
+
+struct NetworkModel {
+  double alpha = 1.0e-6;   // per-message latency [s] (Tofu-D ~ 1 us)
+  double beta = 6.8e9;     // per-link bandwidth [bytes/s] (Tofu-D ~ 6.8 GB/s)
+
+  double message_time(std::uint64_t bytes) const {
+    return alpha + static_cast<double>(bytes) / beta;
+  }
+
+  /// Time for one rank to send `messages` point-to-point messages totalling
+  /// `bytes` (serialized on its injection port).
+  double p2p_time(std::uint64_t messages, std::uint64_t bytes) const {
+    return static_cast<double>(messages) * alpha +
+           static_cast<double>(bytes) / beta;
+  }
+
+  /// Ring/doubling allreduce of `bytes` across `nranks`.
+  double allreduce_time(int nranks, std::uint64_t bytes) const;
+
+  /// Pairwise-exchange alltoall: every rank sends `bytes_per_peer` to each
+  /// of (nranks - 1) peers; steps are serialized.
+  double alltoall_time(int nranks, std::uint64_t bytes_per_peer) const;
+};
+
+/// One simulation part's modeled wall time at a given scale.
+struct ModeledPart {
+  double compute = 0.0;  // max over ranks of measured compute [s]
+  double comm = 0.0;     // modeled communication [s]
+  double total() const { return compute + comm; }
+};
+
+}  // namespace v6d::comm

@@ -1,0 +1,45 @@
+#include "comm/runner.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "comm/context.hpp"
+#include "common/log.hpp"
+
+namespace v6d::comm {
+
+void run(int nranks, const std::function<void(Communicator&)>& fn) {
+  Context ctx(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      log::set_rank(r);
+      Communicator comm(&ctx, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      log::set_rank(-1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<double> run_collect(
+    int nranks, const std::function<double(Communicator&)>& fn) {
+  std::vector<double> results(static_cast<std::size_t>(nranks), 0.0);
+  run(nranks, [&](Communicator& comm) {
+    results[static_cast<std::size_t>(comm.rank())] = fn(comm);
+  });
+  return results;
+}
+
+}  // namespace v6d::comm

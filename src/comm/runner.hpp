@@ -1,0 +1,18 @@
+// Thread launcher for the simulated MPI runtime (declared in
+// communicator.hpp as comm::run); this header only exposes helpers for
+// collecting per-rank results.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace v6d::comm {
+
+/// Run fn on every rank and gather each rank's double result into a vector
+/// indexed by rank (valid on the caller).  Convenience for the benches.
+std::vector<double> run_collect(int nranks,
+                                const std::function<double(Communicator&)>& fn);
+
+}  // namespace v6d::comm

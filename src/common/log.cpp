@@ -1,0 +1,43 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace v6d::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kInfo};
+thread_local int t_rank = -1;
+std::mutex g_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level); }
+Level level() { return g_level.load(); }
+void set_rank(int rank) { t_rank = rank; }
+
+void write(Level level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (t_rank >= 0) {
+    std::fprintf(stderr, "[%s][rank %d] %s\n", level_name(level), t_rank,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  }
+}
+
+}  // namespace v6d::log

@@ -1,0 +1,50 @@
+// Minimal leveled logging to stderr.
+//
+// Rank-aware: when running under the simulated communicator, set_rank() tags
+// each line so interleaved output from rank threads stays attributable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace v6d::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_level(Level level);
+Level level();
+/// Tag subsequent messages from this thread with a rank id (-1 = untagged).
+void set_rank(int rank);
+
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <class... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+template <class... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::kDebug)
+    write(Level::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <class... Args>
+void info(Args&&... args) {
+  if (level() <= Level::kInfo)
+    write(Level::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <class... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::kWarn)
+    write(Level::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <class... Args>
+void error(Args&&... args) {
+  write(Level::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace v6d::log

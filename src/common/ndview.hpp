@@ -1,0 +1,96 @@
+// Lightweight non-owning multi-dimensional views over contiguous storage.
+//
+// All fields in vlasov6d (3-D meshes, 6-D phase-space blocks) live in flat
+// aligned buffers; these views provide bounds-checked-in-debug indexing with
+// row-major ("C") layout, i.e. the *last* index is memory-contiguous.  The
+// Vlasov kernels depend on that layout: the uz axis of the velocity block is
+// the contiguous one, which is exactly the axis the paper's LAT method
+// targets (paper §5.3, List 1).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace v6d {
+
+template <class T>
+class View1D {
+ public:
+  View1D() = default;
+  View1D(T* data, std::ptrdiff_t n, std::ptrdiff_t stride = 1)
+      : data_(data), n_(n), stride_(stride) {}
+
+  T& operator()(std::ptrdiff_t i) const {
+    assert(i >= 0 && i < n_);
+    return data_[i * stride_];
+  }
+  T& operator[](std::ptrdiff_t i) const { return (*this)(i); }
+
+  std::ptrdiff_t size() const { return n_; }
+  std::ptrdiff_t stride() const { return stride_; }
+  T* data() const { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::ptrdiff_t n_ = 0;
+  std::ptrdiff_t stride_ = 1;
+};
+
+template <class T>
+class View2D {
+ public:
+  View2D() = default;
+  View2D(T* data, std::ptrdiff_t n0, std::ptrdiff_t n1)
+      : data_(data), n0_(n0), n1_(n1) {}
+
+  T& operator()(std::ptrdiff_t i, std::ptrdiff_t j) const {
+    assert(i >= 0 && i < n0_ && j >= 0 && j < n1_);
+    return data_[i * n1_ + j];
+  }
+  View1D<T> row(std::ptrdiff_t i) const {
+    assert(i >= 0 && i < n0_);
+    return View1D<T>(data_ + i * n1_, n1_, 1);
+  }
+  View1D<T> col(std::ptrdiff_t j) const {
+    assert(j >= 0 && j < n1_);
+    return View1D<T>(data_ + j, n0_, n1_);
+  }
+
+  std::ptrdiff_t extent0() const { return n0_; }
+  std::ptrdiff_t extent1() const { return n1_; }
+  std::ptrdiff_t size() const { return n0_ * n1_; }
+  T* data() const { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::ptrdiff_t n0_ = 0, n1_ = 0;
+};
+
+template <class T>
+class View3D {
+ public:
+  View3D() = default;
+  View3D(T* data, std::ptrdiff_t n0, std::ptrdiff_t n1, std::ptrdiff_t n2)
+      : data_(data), n0_(n0), n1_(n1), n2_(n2) {}
+
+  T& operator()(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) const {
+    assert(i >= 0 && i < n0_ && j >= 0 && j < n1_ && k >= 0 && k < n2_);
+    return data_[(i * n1_ + j) * n2_ + k];
+  }
+
+  std::ptrdiff_t extent(int axis) const {
+    return axis == 0 ? n0_ : axis == 1 ? n1_ : n2_;
+  }
+  std::ptrdiff_t size() const { return n0_ * n1_ * n2_; }
+  /// Memory stride (in elements) between successive indices along `axis`.
+  std::ptrdiff_t stride(int axis) const {
+    return axis == 0 ? n1_ * n2_ : axis == 1 ? n2_ : 1;
+  }
+  T* data() const { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::ptrdiff_t n0_ = 0, n1_ = 0, n2_ = 0;
+};
+
+}  // namespace v6d

@@ -1,0 +1,57 @@
+#include "common/options.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace v6d {
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    values_[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+}
+
+std::string Options::get(const std::string& key, const std::string& def) const {
+  auto it = values_.find(key);
+  if (it != values_.end()) return it->second;
+  std::string env_key = "V6D_" + key;
+  std::transform(env_key.begin(), env_key.end(), env_key.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (const char* env = std::getenv(env_key.c_str())) return env;
+  return def;
+}
+
+int Options::get_int(const std::string& key, int def) const {
+  const std::string v = get(key, "");
+  return v.empty() ? def : std::atoi(v.c_str());
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  const std::string v = get(key, "");
+  return v.empty() ? def : std::atof(v.c_str());
+}
+
+bool Options::get_bool(const std::string& key, bool def) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return def;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+void Options::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool quick_mode() {
+  const char* env = std::getenv("V6D_QUICK");
+  return env && std::string(env) != "0";
+}
+
+}  // namespace v6d

@@ -1,0 +1,35 @@
+// Tiny key=value option parsing for examples and benches.
+//
+// Accepts "key=value" tokens on the command line plus environment-variable
+// fallbacks, so the bench harness can be run as-is or scaled via e.g.
+// `V6D_QUICK=1 ./bench/fig4_density_maps` without editing sources.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace v6d {
+
+class Options {
+ public:
+  Options() = default;
+  Options(int argc, char** argv);
+
+  /// Value lookup order: command line, then environment variable
+  /// `V6D_<KEY>` (upper-cased), then the supplied default.
+  std::string get(const std::string& key, const std::string& def) const;
+  int get_int(const std::string& key, int def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  bool has(const std::string& key) const;
+  void set(const std::string& key, const std::string& value);
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// True when the harness should favour short runtimes (env V6D_QUICK=1).
+bool quick_mode();
+
+}  // namespace v6d

@@ -1,0 +1,38 @@
+// Deterministic, splittable pseudo-random numbers (xoshiro256**).
+//
+// Initial-condition generation must be reproducible across rank counts: the
+// Gaussian random field and particle displacements are seeded per mode /
+// per particle id, never per rank, so decompositions of the same problem
+// produce identical realizations.
+#pragma once
+
+#include <cstdint>
+
+namespace v6d {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, 1).
+  double next_double();
+  /// Standard normal via Box-Muller (consumes two uniforms per pair).
+  double next_normal();
+  /// New generator whose stream is decorrelated from this one.
+  Xoshiro256 split();
+
+  /// 2^128 stream jump; used to derive independent per-object streams.
+  void jump();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Stateless 64-bit mix (splitmix64 finalizer); used to hash (seed, id)
+/// pairs into per-mode RNG seeds.
+std::uint64_t hash_mix(std::uint64_t x);
+
+}  // namespace v6d

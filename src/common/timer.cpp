@@ -1,0 +1,50 @@
+#include "common/timer.hpp"
+
+#include <algorithm>
+
+namespace v6d {
+
+const std::vector<double> TimerRegistry::empty_{};
+
+void TimerRegistry::add(const std::string& bucket, double seconds) {
+  totals_[bucket] += seconds;
+}
+
+void TimerRegistry::add_sample(const std::string& bucket, double seconds) {
+  totals_[bucket] += seconds;
+  samples_[bucket].push_back(seconds);
+}
+
+double TimerRegistry::total(const std::string& bucket) const {
+  auto it = totals_.find(bucket);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+double TimerRegistry::median_sample(const std::string& bucket) const {
+  auto it = samples_.find(bucket);
+  if (it == samples_.end() || it->second.empty()) return 0.0;
+  std::vector<double> v = it->second;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+const std::vector<double>& TimerRegistry::samples(
+    const std::string& bucket) const {
+  auto it = samples_.find(bucket);
+  return it == samples_.end() ? empty_ : it->second;
+}
+
+std::vector<std::string> TimerRegistry::buckets() const {
+  std::vector<std::string> names;
+  names.reserve(totals_.size());
+  for (const auto& [name, _] : totals_) names.push_back(name);
+  return names;
+}
+
+void TimerRegistry::clear() {
+  totals_.clear();
+  samples_.clear();
+}
+
+}  // namespace v6d

@@ -1,0 +1,67 @@
+// Wall-clock timers with named accumulation buckets.
+//
+// The paper measures per-part elapsed times (Vlasov / tree / PM / comm) with
+// clock_gettime and reports medians over 40 steps (§6.1).  TimerRegistry
+// reproduces that workflow: scoped timers accumulate into named buckets, and
+// the scaling benches query per-bucket totals and per-step samples.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace v6d {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time into named buckets; one instance per rank.
+class TimerRegistry {
+ public:
+  void add(const std::string& bucket, double seconds);
+  /// Record one per-step sample (used for the median-of-40-steps metric).
+  void add_sample(const std::string& bucket, double seconds);
+
+  double total(const std::string& bucket) const;
+  /// Median of the recorded per-step samples (0 if none recorded).
+  double median_sample(const std::string& bucket) const;
+  const std::vector<double>& samples(const std::string& bucket) const;
+
+  std::vector<std::string> buckets() const;
+  void clear();
+
+ private:
+  std::map<std::string, double> totals_;
+  std::map<std::string, std::vector<double>> samples_;
+  static const std::vector<double> empty_;
+};
+
+/// RAII timer: adds elapsed wall time to `registry[bucket]` on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerRegistry& registry, std::string bucket)
+      : registry_(registry), bucket_(std::move(bucket)) {}
+  ~ScopedTimer() { registry_.add(bucket_, watch_.seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerRegistry& registry_;
+  std::string bucket_;
+  Stopwatch watch_;
+};
+
+}  // namespace v6d

@@ -1,0 +1,100 @@
+#include "cosmology/background.hpp"
+
+#include <cmath>
+
+namespace v6d::cosmo {
+
+namespace {
+// 16-point Gauss-Legendre nodes/weights on [-1, 1].
+constexpr int kGaussN = 16;
+constexpr double kGx[kGaussN] = {
+    -0.9894009349916499, -0.9445750230732326, -0.8656312023878318,
+    -0.7554044083550030, -0.6178762444026438, -0.4580167776572274,
+    -0.2816035507792589, -0.0950125098376374, 0.0950125098376374,
+    0.2816035507792589,  0.4580167776572274,  0.6178762444026438,
+    0.7554044083550030,  0.8656312023878318,  0.9445750230732326,
+    0.9894009349916499};
+constexpr double kGw[kGaussN] = {
+    0.0271524594117541, 0.0622535239386479, 0.0951585116824928,
+    0.1246289712555339, 0.1495959888165767, 0.1691565193950025,
+    0.1826034150449236, 0.1894506104550685, 0.1894506104550685,
+    0.1826034150449236, 0.1691565193950025, 0.1495959888165767,
+    0.1246289712555339, 0.0951585116824928, 0.0622535239386479,
+    0.0271524594117541};
+}  // namespace
+
+template <class Fn>
+double Background::integrate(double a0, double a1, Fn&& fn) const {
+  // Panelled Gauss-Legendre; panels keep accuracy through the steep early
+  // epoch where the integrands scale like fractional powers of a.
+  const int panels = 48;
+  const double da = (a1 - a0) / panels;
+  double total = 0.0;
+  for (int p = 0; p < panels; ++p) {
+    const double lo = a0 + p * da;
+    const double mid = lo + 0.5 * da;
+    const double half = 0.5 * da;
+    double acc = 0.0;
+    for (int i = 0; i < kGaussN; ++i) acc += kGw[i] * fn(mid + half * kGx[i]);
+    total += acc * half;
+  }
+  return total;
+}
+
+double Background::hubble(double a) const {
+  const double a3 = a * a * a;
+  const double omega_k =
+      1.0 - params_.omega_m - params_.omega_lambda;  // usually 0
+  return std::sqrt(params_.omega_m / a3 + params_.omega_lambda +
+                   omega_k / (a * a));
+}
+
+double Background::time_of(double a) const {
+  return integrate(1e-8, a, [this](double aa) {
+    return 1.0 / (aa * hubble(aa));
+  });
+}
+
+double Background::a_of_time(double t) const {
+  double lo = 1e-8, hi = 2.0;
+  for (int it = 0; it < 80; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (time_of(mid) < t ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double Background::drift_factor(double a0, double a1) const {
+  return integrate(a0, a1, [this](double a) {
+    return 1.0 / (a * a * a * hubble(a));
+  });
+}
+
+double Background::kick_factor(double a0, double a1) const {
+  return integrate(a0, a1, [this](double a) {
+    return 1.0 / (a * hubble(a));
+  });
+}
+
+double Background::growth_unnormalized(double a) const {
+  // D(a) = (5 Omega_m / 2) H(a) Integral_0^a da' / (a' H(a'))^3.
+  const double integral = integrate(1e-8, a, [this](double aa) {
+    const double ah = aa * hubble(aa);
+    return 1.0 / (ah * ah * ah);
+  });
+  return 2.5 * params_.omega_m * hubble(a) * integral;
+}
+
+double Background::growth_factor(double a) const {
+  return growth_unnormalized(a) / growth_unnormalized(1.0);
+}
+
+double Background::growth_rate(double a) const {
+  const double eps = 1e-4;
+  const double d_lo = growth_unnormalized(a * (1.0 - eps));
+  const double d_hi = growth_unnormalized(a * (1.0 + eps));
+  return (std::log(d_hi) - std::log(d_lo)) /
+         (std::log(1.0 + eps) - std::log(1.0 - eps));
+}
+
+}  // namespace v6d::cosmo

@@ -1,0 +1,45 @@
+// Homogeneous background evolution: H(a), t(a), drift/kick factors, linear
+// growth.  All in code units (H0 = 1; see params.hpp).
+#pragma once
+
+#include "cosmology/params.hpp"
+
+namespace v6d::cosmo {
+
+class Background {
+ public:
+  explicit Background(const Params& params) : params_(params) {}
+
+  const Params& params() const { return params_; }
+
+  /// Hubble rate H(a)/H0 for flat LCDM (radiation neglected; matter
+  /// includes neutrinos, which are non-relativistic for the redshifts the
+  /// simulations cover).
+  double hubble(double a) const;
+
+  /// Age of the universe at scale factor a (integral of da / (a H)).
+  double time_of(double a) const;
+  /// Inverse of time_of (bisection; a in (0, 2]).
+  double a_of_time(double t) const;
+
+  /// Leapfrog factors between scale factors a0 < a1:
+  ///   drift = Integral dt / a^2   (positions: dx = u * drift)
+  ///   kick  = Integral dt        (velocities: du = -grad(phi) * kick)
+  double drift_factor(double a0, double a1) const;
+  double kick_factor(double a0, double a1) const;
+
+  /// Linear growth factor, normalized so D(a=1) = 1.
+  double growth_factor(double a) const;
+  /// Growth rate f = dlnD / dlna.
+  double growth_rate(double a) const;
+
+ private:
+  /// Gauss-Legendre integral of fn(a) da over [a0, a1].
+  template <class Fn>
+  double integrate(double a0, double a1, Fn&& fn) const;
+  double growth_unnormalized(double a) const;
+
+  Params params_;
+};
+
+}  // namespace v6d::cosmo

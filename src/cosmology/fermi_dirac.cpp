@@ -1,0 +1,105 @@
+#include "cosmology/fermi_dirac.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "cosmology/params.hpp"
+
+namespace v6d::cosmo {
+
+namespace {
+
+// Integral_0^inf x^2 / (e^x + 1) dx = (3/2) zeta(3).
+constexpr double kFd2 = 1.8030853547393952;
+
+double fd_speed_moment(double power) {
+  // Integral x^power / (e^x + 1) dx on [0, ~60] by Simpson; the integrand
+  // decays like e^-x so 60 thermal units is far past double precision.
+  const int n = 6000;
+  const double xmax = 60.0;
+  const double h = xmax / n;
+  double acc = 0.0;
+  for (int i = 0; i <= n; ++i) {
+    const double x = i * h;
+    const double f = std::pow(x, power) / (std::exp(x) + 1.0);
+    const double w = (i == 0 || i == n) ? 1.0 : (i % 2 ? 4.0 : 2.0);
+    acc += w * f;
+  }
+  return acc * h / 3.0;
+}
+
+}  // namespace
+
+double neutrino_thermal_velocity(double m_nu_ev, double t_cmb) {
+  const double t_nu0 = std::cbrt(4.0 / 11.0) * t_cmb;  // K
+  const double kb_t_ev = 8.617333262e-5 * t_nu0;       // eV
+  return kSpeedOfLight * kb_t_ev / m_nu_ev;            // code units
+}
+
+double fd_density(double u, double u_th) {
+  const double norm = 4.0 * M_PI * u_th * u_th * u_th * kFd2;
+  return 1.0 / (norm * (std::exp(std::fabs(u) / u_th) + 1.0));
+}
+
+double fd_mean_speed(double u_th) {
+  return u_th * fd_speed_moment(3.0) / kFd2;
+}
+
+double fd_rms_speed(double u_th) {
+  return u_th * std::sqrt(fd_speed_moment(4.0) / kFd2);
+}
+
+FermiDiracSampler::FermiDiracSampler(double u_th, int table_size)
+    : u_th_(u_th), u_max_(25.0 * u_th) {
+  // Build the CDF of p(u) ~ u^2/(e^{u/uth}+1) on [0, u_max], then invert
+  // onto uniform CDF nodes.
+  const int n = 16384;
+  std::vector<double> cdf(static_cast<std::size_t>(n) + 1, 0.0);
+  const double h = u_max_ / n;
+  for (int i = 1; i <= n; ++i) {
+    const double u0 = (i - 1) * h, u1 = i * h;
+    auto p = [&](double u) {
+      const double x = u / u_th_;
+      return u * u / (std::exp(x) + 1.0);
+    };
+    cdf[static_cast<std::size_t>(i)] =
+        cdf[static_cast<std::size_t>(i) - 1] +
+        0.5 * h * (p(u0) + p(u1));
+  }
+  const double total = cdf[static_cast<std::size_t>(n)];
+  inverse_cdf_.resize(static_cast<std::size_t>(table_size) + 1);
+  int j = 0;
+  for (int t = 0; t <= table_size; ++t) {
+    const double target = total * t / table_size;
+    while (j < n && cdf[static_cast<std::size_t>(j) + 1] < target) ++j;
+    if (j >= n) {
+      inverse_cdf_[static_cast<std::size_t>(t)] = u_max_;
+      continue;
+    }
+    const double c0 = cdf[static_cast<std::size_t>(j)];
+    const double c1 = cdf[static_cast<std::size_t>(j) + 1];
+    const double frac = c1 > c0 ? (target - c0) / (c1 - c0) : 0.0;
+    inverse_cdf_[static_cast<std::size_t>(t)] = (j + frac) * h;
+  }
+}
+
+double FermiDiracSampler::sample_speed(Xoshiro256& rng) const {
+  const double r = rng.next_double() * (inverse_cdf_.size() - 1);
+  const auto idx = static_cast<std::size_t>(r);
+  const double frac = r - static_cast<double>(idx);
+  if (idx + 1 >= inverse_cdf_.size()) return inverse_cdf_.back();
+  return inverse_cdf_[idx] * (1.0 - frac) + inverse_cdf_[idx + 1] * frac;
+}
+
+void FermiDiracSampler::sample_velocity(Xoshiro256& rng, double& ux,
+                                        double& uy, double& uz) const {
+  const double speed = sample_speed(rng);
+  const double mu = 2.0 * rng.next_double() - 1.0;
+  const double phi = 2.0 * M_PI * rng.next_double();
+  const double s = std::sqrt(1.0 - mu * mu);
+  ux = speed * s * std::cos(phi);
+  uy = speed * s * std::sin(phi);
+  uz = speed * mu;
+}
+
+}  // namespace v6d::cosmo

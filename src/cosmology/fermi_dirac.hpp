@@ -1,0 +1,46 @@
+// Relic-neutrino Fermi-Dirac velocity distribution.
+//
+// In canonical velocity u = a^2 dx/dt the relic distribution is frozen:
+// the comoving momentum q = a m v_pec = m u is conserved, so
+//   f_0(u) \propto 1 / (exp(|u| / u_th) + 1),
+//   u_th = (k_B T_nu,0 / m_nu c^2) * c    (time-independent!),
+// with T_nu,0 = (4/11)^(1/3) T_cmb.  This is the distribution the Vlasov
+// ICs discretize and the N-body comparison runs sample.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace v6d::cosmo {
+
+/// u_th in code velocity units (100 km/s) for one neutrino species of mass
+/// m_nu_ev (eV).  t_cmb in K.
+double neutrino_thermal_velocity(double m_nu_ev, double t_cmb = 2.7255);
+
+/// Isotropic normalized distribution: g(|u|) with Integral g d^3u = 1.
+double fd_density(double u, double u_th);
+
+/// Moments of the speed distribution (computed by quadrature).
+double fd_mean_speed(double u_th);
+double fd_rms_speed(double u_th);
+
+/// Inverse-CDF sampler of the speed |u| (for N-body neutrino particles).
+class FermiDiracSampler {
+ public:
+  explicit FermiDiracSampler(double u_th, int table_size = 4096);
+
+  double u_th() const { return u_th_; }
+  /// Draw a speed from p(u) du \propto u^2 / (exp(u/u_th)+1) du.
+  double sample_speed(Xoshiro256& rng) const;
+  /// Draw a full isotropic velocity vector.
+  void sample_velocity(Xoshiro256& rng, double& ux, double& uy,
+                       double& uz) const;
+
+ private:
+  double u_th_;
+  double u_max_;
+  std::vector<double> inverse_cdf_;  // speed at uniform CDF nodes
+};
+
+}  // namespace v6d::cosmo

@@ -1,0 +1,48 @@
+// Gaussian random field realization on a periodic grid.
+//
+// delta_k modes are drawn with <|delta_k|^2> = P(k)/V and Hermitian
+// symmetry so delta(x) is real.  Every mode's random numbers are seeded by
+// hashing (seed, canonical mode triple), which makes realizations
+// *deterministic and decomposition-independent*: the same seed produces
+// bit-identical fields regardless of rank count or traversal order.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mesh/grid.hpp"
+
+namespace v6d::cosmo {
+
+class GaussianField {
+ public:
+  /// n^3 grid over a periodic box of length `box` [h^-1 Mpc].
+  GaussianField(int n, double box, std::uint64_t seed);
+
+  /// Realize delta(x) from the power spectrum pk(k) [k in h/Mpc].
+  void realize(const std::function<double(double)>& pk,
+               mesh::Grid3D<double>& delta) const;
+
+  /// Realize delta and the displacement field psi with
+  /// psi_k = (i k / k^2) delta_k (Zel'dovich kernel).
+  void realize_with_displacement(const std::function<double(double)>& pk,
+                                 mesh::Grid3D<double>& delta,
+                                 mesh::Grid3D<double>& psix,
+                                 mesh::Grid3D<double>& psiy,
+                                 mesh::Grid3D<double>& psiz) const;
+
+  int n() const { return n_; }
+  double box() const { return box_; }
+
+ private:
+  void fill_modes(const std::function<double(double)>& pk,
+                  std::vector<std::complex<double>>& modes) const;
+
+  int n_;
+  double box_;
+  std::uint64_t seed_;
+};
+
+}  // namespace v6d::cosmo

@@ -1,0 +1,57 @@
+// Initial conditions for the massive-neutrino component.
+//
+// Vlasov form:  f(x, u) = Omega_nu [1 + delta_nu(x)] g(u - u_bulk(x)),
+// with g the frozen Fermi-Dirac profile (fermi_dirac.hpp), delta_nu the
+// matter field suppressed below the free-streaming scale, and u_bulk the
+// linear velocity field.  g is renormalized cell-by-cell on the discrete
+// velocity grid so the 0th moment equals Omega_nu (1 + delta_nu) exactly.
+//
+// N-body form (the TianNu-style comparison baseline): particles on a
+// lattice, Zel'dovich-displaced with the neutrino transfer, plus an
+// individually sampled Fermi-Dirac thermal velocity.
+#pragma once
+
+#include <cstdint>
+
+#include "cosmology/fermi_dirac.hpp"
+#include "cosmology/power_spectrum.hpp"
+#include "mesh/grid.hpp"
+#include "nbody/particles.hpp"
+#include "vlasov/phase_space.hpp"
+
+namespace v6d::cosmo {
+
+struct NeutrinoIcOptions {
+  double a_init = 1.0 / 11.0;
+  std::uint64_t seed = 12345;   // must match the CDM seed: same realization
+  bool bulk_velocity = true;    // imprint the linear flow on f
+  double umax_over_uth = 8.0;   // velocity-space extent (paper-like cutoff)
+};
+
+/// Fill `f` (already sized) for a single-rank (whole-box) phase space.
+/// delta_nu and the bulk velocity grids must share f's spatial grid size.
+void initialize_neutrino_phase_space(
+    vlasov::PhaseSpace& f, const Params& params, double u_th,
+    const mesh::Grid3D<double>& delta_nu, const mesh::Grid3D<double>* bulk_x,
+    const mesh::Grid3D<double>* bulk_y, const mesh::Grid3D<double>* bulk_z,
+    int x_offset = 0, int y_offset = 0, int z_offset = 0);
+
+/// Realize delta_nu (free-streaming-suppressed) and linear bulk velocity
+/// on an n^3 grid at a_init, from the same seed (hence same realization)
+/// as the CDM ICs.
+struct NeutrinoFields {
+  mesh::Grid3D<double> delta;
+  mesh::Grid3D<double> bulk_x, bulk_y, bulk_z;
+};
+NeutrinoFields neutrino_linear_fields(const PowerSpectrum& ps, double box,
+                                      int grid,
+                                      const NeutrinoIcOptions& options);
+
+/// Sample N-body neutrino particles: Zel'dovich positions/flows from the
+/// nu-suppressed spectrum plus Fermi-Dirac thermal velocities.
+nbody::Particles sample_neutrino_particles(const PowerSpectrum& ps,
+                                           double box, int particles_per_side,
+                                           double u_th,
+                                           const NeutrinoIcOptions& options);
+
+}  // namespace v6d::cosmo

@@ -1,0 +1,26 @@
+#include "cosmology/params.hpp"
+
+namespace v6d::cosmo {
+
+double Params::omega_nu_from_mass(double m_nu_total_ev, double h) {
+  return m_nu_total_ev / (93.14 * h * h);
+}
+
+void Params::set_neutrino_mass(double m_nu_total_ev_in) {
+  m_nu_total_ev = m_nu_total_ev_in;
+  omega_nu = omega_nu_from_mass(m_nu_total_ev_in, h);
+}
+
+Params Params::planck2015(double m_nu_total_ev_in) {
+  Params p;
+  p.omega_m = 0.3089;
+  p.omega_b = 0.0486;
+  p.omega_lambda = 1.0 - p.omega_m;
+  p.h = 0.6774;
+  p.sigma8 = 0.8159;
+  p.n_s = 0.9667;
+  p.set_neutrino_mass(m_nu_total_ev_in);
+  return p;
+}
+
+}  // namespace v6d::cosmo

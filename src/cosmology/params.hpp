@@ -1,0 +1,46 @@
+// Cosmological parameters and internal code units.
+//
+// Code units (documented here once; used consistently everywhere):
+//   length   : 1 h^-1 Mpc (comoving)
+//   time     : 1 / H0            =>  H0 = 1
+//   velocity : H0 * h^-1 Mpc     =  100 km/s
+//   density  : rho_crit,0        =>  4 pi G rho_crit,0 = (3/2) H0^2 = 3/2
+//
+// With comoving density fields Omega(x) = rho_comoving / rho_crit,0 the
+// Poisson equation (paper Eq. 2) becomes
+//   laplacian(phi) = (3/2) / a * (Omega(x) - Omega_m),
+// and particle/Vlasov kicks use du/dt = -grad(phi) with the canonical
+// velocity u = a^2 dx/dt.
+#pragma once
+
+namespace v6d::cosmo {
+
+/// Speed of light in code velocity units (km/s / 100).
+inline constexpr double kSpeedOfLight = 2997.92458;
+
+struct Params {
+  double omega_m = 0.31;       // total matter (CDM + baryons + neutrinos)
+  double omega_b = 0.048;      // baryons (lumped with CDM dynamically)
+  double omega_lambda = 0.69;  // cosmological constant
+  double omega_nu = 0.0;       // massive neutrinos (from m_nu if set)
+  double h = 0.67;             // H0 / (100 km/s/Mpc)
+  double sigma8 = 0.815;       // power normalization
+  double n_s = 0.965;          // primordial spectral index
+  double m_nu_total_ev = 0.0;  // sum of neutrino masses [eV]
+  double t_cmb = 2.7255;       // CMB temperature [K]
+
+  /// CDM(+baryon) fraction of matter.
+  double omega_cdm() const { return omega_m - omega_nu; }
+  double f_nu() const { return omega_m > 0.0 ? omega_nu / omega_m : 0.0; }
+
+  /// Omega_nu h^2 = sum(m_nu) / 93.14 eV (standard relic abundance).
+  static double omega_nu_from_mass(double m_nu_total_ev, double h);
+  /// Fill omega_nu from m_nu_total_ev (keeps omega_m fixed; CDM shrinks).
+  void set_neutrino_mass(double m_nu_total_ev_in);
+
+  /// Planck-2015-like fiducial used in the paper's runs (Mnu = 0.4 eV is
+  /// their headline choice; pass 0.2 for the comparison panel of Fig. 4).
+  static Params planck2015(double m_nu_total_ev_in = 0.4);
+};
+
+}  // namespace v6d::cosmo

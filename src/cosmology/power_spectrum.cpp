@@ -1,0 +1,59 @@
+#include "cosmology/power_spectrum.hpp"
+
+#include <cmath>
+
+namespace v6d::cosmo {
+
+namespace {
+
+double tophat_window(double x) {
+  if (x < 1e-4) return 1.0 - x * x / 10.0;
+  return 3.0 * (std::sin(x) - x * std::cos(x)) / (x * x * x);
+}
+
+}  // namespace
+
+PowerSpectrum::PowerSpectrum(const Params& params, TransferShape shape)
+    : params_(params),
+      transfer_(params, shape),
+      background_(params),
+      amplitude_(1.0) {
+  // Normalize so sigma_r(8) = sigma8.
+  const double s8 = sigma_r(8.0);
+  amplitude_ = params.sigma8 * params.sigma8 / (s8 * s8);
+}
+
+double PowerSpectrum::matter_z0(double k) const {
+  if (k <= 0.0) return 0.0;
+  const double t = transfer_.matter(k);
+  return amplitude_ * std::pow(k, params_.n_s) * t * t;
+}
+
+double PowerSpectrum::matter(double k, double a) const {
+  const double d = background_.growth_factor(a);
+  return matter_z0(k) * d * d;
+}
+
+double PowerSpectrum::neutrino(double k, double a) const {
+  const double s = transfer_.neutrino_suppression(k, a);
+  return matter(k, a) * s * s;
+}
+
+double PowerSpectrum::sigma_r(double r) const {
+  // sigma^2 = (1/2 pi^2) Integral k^2 P(k) W(kr)^2 dk, log-k trapezoid.
+  const int n = 600;
+  const double lk0 = std::log(1e-5), lk1 = std::log(1e3);
+  const double dlk = (lk1 - lk0) / n;
+  double acc = 0.0;
+  for (int i = 0; i <= n; ++i) {
+    const double k = std::exp(lk0 + i * dlk);
+    const double w = tophat_window(k * r);
+    const double t = transfer_.matter(k);
+    const double p = amplitude_ * std::pow(k, params_.n_s) * t * t;
+    const double integrand = k * k * k * p * w * w;  // extra k: dlnk measure
+    acc += (i == 0 || i == n ? 0.5 : 1.0) * integrand;
+  }
+  return std::sqrt(acc * dlk / (2.0 * M_PI * M_PI));
+}
+
+}  // namespace v6d::cosmo

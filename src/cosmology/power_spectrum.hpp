@@ -1,0 +1,36 @@
+// Linear matter power spectrum P(k) = A k^ns T(k)^2, normalized to sigma8.
+#pragma once
+
+#include "cosmology/background.hpp"
+#include "cosmology/transfer.hpp"
+
+namespace v6d::cosmo {
+
+class PowerSpectrum {
+ public:
+  PowerSpectrum(const Params& params,
+                TransferShape shape = TransferShape::kEisensteinHu98);
+
+  /// Linear total-matter P(k) at z = 0; k in h/Mpc, P in (h^-1 Mpc)^3.
+  double matter_z0(double k) const;
+  /// Linear matter P(k) at scale factor a (growth-scaled).
+  double matter(double k, double a) const;
+  /// Linear *neutrino* component power at scale factor a (free-streaming
+  /// suppressed).
+  double neutrino(double k, double a) const;
+
+  /// rms of top-hat-filtered density at radius r [h^-1 Mpc], z=0.
+  double sigma_r(double r) const;
+
+  const Transfer& transfer() const { return transfer_; }
+  const Background& background() const { return background_; }
+  double amplitude() const { return amplitude_; }
+
+ private:
+  Params params_;
+  Transfer transfer_;
+  Background background_;
+  double amplitude_;
+};
+
+}  // namespace v6d::cosmo

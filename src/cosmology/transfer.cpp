@@ -1,0 +1,72 @@
+#include "cosmology/transfer.hpp"
+
+#include <cmath>
+
+namespace v6d::cosmo {
+
+Transfer::Transfer(const Params& params, TransferShape shape)
+    : params_(params), shape_(shape) {
+  const double t27 = params.t_cmb / 2.7;
+  theta_cmb2_ = t27 * t27;
+  const double om_h2 = params.omega_m * params.h * params.h;
+  const double ob_h2 = params.omega_b * params.h * params.h;
+  // EH98 Eq. 26: approximate sound horizon in Mpc.
+  sound_horizon_ = 44.5 * std::log(9.83 / om_h2) /
+                   std::sqrt(1.0 + 10.0 * std::pow(ob_h2, 0.75));
+  // EH98 Eq. 31: baryon suppression of the effective shape parameter.
+  const double fb = params.omega_b / params.omega_m;
+  alpha_gamma_ = 1.0 - 0.328 * std::log(431.0 * om_h2) * fb +
+                 0.38 * std::log(22.3 * om_h2) * fb * fb;
+}
+
+double Transfer::eh98_nowiggle(double k) const {
+  // k in h/Mpc; EH98 "zero baryon / no wiggle" form (their §4.2).
+  if (k <= 0.0) return 1.0;
+  const double om_h2 = params_.omega_m * params_.h * params_.h;
+  const double k_mpc = k * params_.h;  // 1/Mpc
+  // Effective shape with baryon suppression (EH98 Eq. 30).
+  const double gamma_eff =
+      params_.omega_m * params_.h *
+      (alpha_gamma_ +
+       (1.0 - alpha_gamma_) / (1.0 + std::pow(0.43 * k_mpc * sound_horizon_, 4)));
+  const double q = k * theta_cmb2_ / gamma_eff;
+  const double l0 = std::log(2.0 * M_E + 1.8 * q);
+  const double c0 = 14.2 + 731.0 / (1.0 + 62.5 * q);
+  (void)om_h2;
+  return l0 / (l0 + c0 * q * q);
+}
+
+double Transfer::bbks(double k) const {
+  if (k <= 0.0) return 1.0;
+  const double gamma = params_.omega_m * params_.h *
+                       std::exp(-params_.omega_b -
+                                std::sqrt(2.0 * params_.h) * params_.omega_b /
+                                    params_.omega_m);
+  const double q = k / gamma;
+  return std::log(1.0 + 2.34 * q) / (2.34 * q) *
+         std::pow(1.0 + 3.89 * q + std::pow(16.1 * q, 2) +
+                      std::pow(5.46 * q, 3) + std::pow(6.71 * q, 4),
+                  -0.25);
+}
+
+double Transfer::matter(double k) const {
+  return shape_ == TransferShape::kEisensteinHu98 ? eh98_nowiggle(k)
+                                                  : bbks(k);
+}
+
+double Transfer::k_freestream(double a) const {
+  if (params_.m_nu_total_ev <= 0.0) return 1e30;  // no suppression
+  const double m_per_species = params_.m_nu_total_ev / 3.0;
+  // Standard fit: k_fs = 0.82 sqrt(OmL + Om/a^3) a^2 (m_nu / 1 eV) h/Mpc.
+  const double e = std::sqrt(params_.omega_lambda +
+                             params_.omega_m / (a * a * a));
+  return 0.82 * e * a * a * m_per_species;
+}
+
+double Transfer::neutrino_suppression(double k, double a) const {
+  const double x = k / k_freestream(a);
+  const double d = 1.0 + x * x;
+  return 1.0 / (d * d);
+}
+
+}  // namespace v6d::cosmo

@@ -1,0 +1,52 @@
+// Linear transfer functions.
+//
+// Two shapes for the matter transfer function:
+//  * Eisenstein & Hu (1998) zero-baryon "no-wiggle" form (default — smooth,
+//    accurate shape for P(k) normalization), and
+//  * BBKS (Bardeen et al. 1986) for cross-checks.
+//
+// Massive-neutrino treatment: the *neutrino* density transfer is the matter
+// one suppressed below the free-streaming scale,
+//   T_nu(k, a) = T_m(k) / (1 + (k / k_fs(a))^2)^2,
+// with k_fs the standard free-streaming wavenumber; the total-matter power
+// is suppressed by the usual Delta P / P ~ -8 f_nu on small scales.  These
+// fits replace a Boltzmann solver (CAMB/CLASS), which the paper's IC
+// pipeline would use — adequate here because the experiments compare
+// *relative* clustering between components and neutrino masses.
+#pragma once
+
+#include "cosmology/params.hpp"
+
+namespace v6d::cosmo {
+
+enum class TransferShape { kEisensteinHu98, kBbks };
+
+class Transfer {
+ public:
+  Transfer(const Params& params, TransferShape shape = TransferShape::kEisensteinHu98);
+
+  /// Matter transfer function T(k), k in h/Mpc, normalized T(0) = 1.
+  double matter(double k) const;
+
+  /// Free-streaming wavenumber of the neutrinos at scale factor a [h/Mpc]
+  /// (m_nu per species = total/3).
+  double k_freestream(double a) const;
+
+  /// Neutrino density transfer relative to matter at scale factor a.
+  double neutrino_suppression(double k, double a) const;
+  double neutrino(double k, double a) const {
+    return matter(k) * neutrino_suppression(k, a);
+  }
+
+ private:
+  double eh98_nowiggle(double k) const;
+  double bbks(double k) const;
+
+  Params params_;
+  TransferShape shape_;
+  double theta_cmb2_;     // (T_cmb / 2.7)^2
+  double sound_horizon_;  // EH98 approximate sound horizon [Mpc]
+  double alpha_gamma_;
+};
+
+}  // namespace v6d::cosmo

@@ -1,0 +1,73 @@
+#include "cosmology/zeldovich.hpp"
+
+#include <cmath>
+
+#include "mesh/deposit.hpp"
+
+namespace v6d::cosmo {
+
+ZeldovichResult zeldovich_ics(const PowerSpectrum& ps, double box,
+                              const ZeldovichOptions& options) {
+  const int np = options.particles_per_side;
+  const int ng = options.field_grid > 0 ? options.field_grid : np;
+  const double a = options.a_init;
+  const Background& bg = ps.background();
+
+  ZeldovichResult result{
+      nbody::Particles(static_cast<std::size_t>(np) * np * np),
+      mesh::Grid3D<double>(ng, ng, ng, 1),
+      mesh::Grid3D<double>(ng, ng, ng, 1),
+      mesh::Grid3D<double>(ng, ng, ng, 1),
+      mesh::Grid3D<double>(ng, ng, ng, 1)};
+
+  GaussianField grf(ng, box, options.seed);
+  grf.realize_with_displacement(
+      [&](double k) { return ps.matter(k, a); }, result.delta, result.psix,
+      result.psiy, result.psiz);
+  result.delta.fill_ghosts_periodic();
+  result.psix.fill_ghosts_periodic();
+  result.psiy.fill_ghosts_periodic();
+  result.psiz.fill_ghosts_periodic();
+
+  mesh::MeshPatch patch;
+  patch.box = box;
+  patch.n_global = ng;
+
+  // u = a^2 dx/dt with dx/dt = dD/dt psi_0 = H f psi(a).
+  const double vel_factor =
+      a * a * bg.hubble(a) * bg.growth_rate(a);
+  const double spacing = box / np;
+
+  auto& p = result.particles;
+  const Params& params = ps.background().params();
+  p.mass = params.omega_cdm() * box * box * box / p.size();
+
+  std::size_t idx = 0;
+  for (int i = 0; i < np; ++i)
+    for (int j = 0; j < np; ++j)
+      for (int k = 0; k < np; ++k, ++idx) {
+        const double qx = (i + 0.5) * spacing;
+        const double qy = (j + 0.5) * spacing;
+        const double qz = (k + 0.5) * spacing;
+        const double dx =
+            mesh::interpolate(result.psix, patch, qx, qy, qz,
+                              mesh::Assignment::kCic);
+        const double dy =
+            mesh::interpolate(result.psiy, patch, qx, qy, qz,
+                              mesh::Assignment::kCic);
+        const double dz =
+            mesh::interpolate(result.psiz, patch, qx, qy, qz,
+                              mesh::Assignment::kCic);
+        p.x[idx] = qx + dx;
+        p.y[idx] = qy + dy;
+        p.z[idx] = qz + dz;
+        p.ux[idx] = vel_factor * dx;
+        p.uy[idx] = vel_factor * dy;
+        p.uz[idx] = vel_factor * dz;
+        p.id[idx] = idx;
+      }
+  p.wrap_positions(box);
+  return result;
+}
+
+}  // namespace v6d::cosmo

@@ -1,0 +1,40 @@
+// Zel'dovich-approximation initial conditions for particles.
+//
+// Particles start on a uniform lattice and are displaced by the linear
+// displacement field:  x = q + psi(q, a),  u = a^2 H(a) f(a) psi(q, a),
+// where psi is realized at the starting epoch (its delta_k already carry
+// the growth factor via the epoch-evaluated P(k)).
+#pragma once
+
+#include <cstdint>
+
+#include "cosmology/background.hpp"
+#include "cosmology/gaussian_field.hpp"
+#include "cosmology/power_spectrum.hpp"
+#include "nbody/particles.hpp"
+
+namespace v6d::cosmo {
+
+struct ZeldovichOptions {
+  int particles_per_side = 16;
+  double a_init = 1.0 / 11.0;  // z = 10, the paper's starting epoch
+  std::uint64_t seed = 12345;
+  /// Density field resolution used to realize psi (defaults to
+  /// particles_per_side when 0).
+  int field_grid = 0;
+};
+
+struct ZeldovichResult {
+  nbody::Particles particles;
+  /// The realized (epoch-scaled) density contrast on the field grid — kept
+  /// so neutrino ICs can be built from the same realization.
+  mesh::Grid3D<double> delta;
+  mesh::Grid3D<double> psix, psiy, psiz;
+};
+
+/// Generate CDM particle ICs in a periodic box of length `box`.
+/// Particle mass is set to Omega_cdm * box^3 / N (critical-density units).
+ZeldovichResult zeldovich_ics(const PowerSpectrum& ps, double box,
+                              const ZeldovichOptions& options);
+
+}  // namespace v6d::cosmo

@@ -1,0 +1,39 @@
+#include "diagnostics/field_compare.hpp"
+
+#include <cmath>
+
+namespace v6d::diag {
+
+FieldDiff compare_fields(const mesh::Grid3D<double>& a,
+                         const mesh::Grid3D<double>& b) {
+  FieldDiff d;
+  double sum_abs = 0.0, sum_sq = 0.0, sum_a2 = 0.0;
+  double sa = 0.0, sb = 0.0, sab = 0.0, saa = 0.0, sbb = 0.0;
+  const double n = static_cast<double>(a.interior_size());
+  for (int i = 0; i < a.nx(); ++i)
+    for (int j = 0; j < a.ny(); ++j)
+      for (int k = 0; k < a.nz(); ++k) {
+        const double va = a.at(i, j, k), vb = b.at(i, j, k);
+        const double diff = va - vb;
+        sum_abs += std::fabs(diff);
+        sum_sq += diff * diff;
+        sum_a2 += va * va;
+        d.linf = std::max(d.linf, std::fabs(diff));
+        sa += va;
+        sb += vb;
+        sab += va * vb;
+        saa += va * va;
+        sbb += vb * vb;
+      }
+  d.l1 = sum_abs / n;
+  d.l2 = std::sqrt(sum_sq / n);
+  d.rel_l2 = sum_a2 > 0.0 ? std::sqrt(sum_sq / sum_a2) : 0.0;
+  const double cov = sab / n - (sa / n) * (sb / n);
+  const double var_a = saa / n - (sa / n) * (sa / n);
+  const double var_b = sbb / n - (sb / n) * (sb / n);
+  d.correlation =
+      var_a > 0.0 && var_b > 0.0 ? cov / std::sqrt(var_a * var_b) : 0.0;
+  return d;
+}
+
+}  // namespace v6d::diag

@@ -1,0 +1,19 @@
+// Field-versus-field error metrics (Vlasov vs N-body comparisons, Fig. 6).
+#pragma once
+
+#include "mesh/grid.hpp"
+
+namespace v6d::diag {
+
+struct FieldDiff {
+  double l1 = 0.0;        // mean |a - b|
+  double l2 = 0.0;        // rms difference
+  double linf = 0.0;      // max difference
+  double rel_l2 = 0.0;    // rms difference / rms of a
+  double correlation = 0.0;  // Pearson correlation of the two fields
+};
+
+FieldDiff compare_fields(const mesh::Grid3D<double>& a,
+                         const mesh::Grid3D<double>& b);
+
+}  // namespace v6d::diag

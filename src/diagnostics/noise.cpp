@@ -1,0 +1,35 @@
+#include "diagnostics/noise.hpp"
+
+#include <cmath>
+
+namespace v6d::diag {
+
+double equivalent_resolution(double box, double n_particles,
+                             double signal_to_noise) {
+  // Paper Eq. 9: smoothing over Ns = (S/N)^2 particles gives
+  // DeltaL = Ns^(1/3) L / N^(1/3).
+  const double ns = signal_to_noise * signal_to_noise;
+  return std::cbrt(ns) * box / std::cbrt(n_particles);
+}
+
+double high_k_power(const std::vector<SpectrumBin>& bins, double frac) {
+  if (bins.empty()) return 0.0;
+  const std::size_t start =
+      static_cast<std::size_t>((1.0 - frac) * static_cast<double>(bins.size()));
+  double acc = 0.0;
+  long count = 0;
+  for (std::size_t b = start; b < bins.size(); ++b) {
+    if (bins[b].modes == 0) continue;
+    acc += bins[b].power;
+    ++count;
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+double shot_noise_excess(const std::vector<SpectrumBin>& bins, double box,
+                         double n_particles) {
+  const double shot = shot_noise_level(box, n_particles);
+  return shot > 0.0 ? high_k_power(bins) / shot : 0.0;
+}
+
+}  // namespace v6d::diag

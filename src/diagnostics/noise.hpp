@@ -1,0 +1,23 @@
+// Shot-noise and effective-resolution metrics (paper §7.2, Eq. 9-10).
+#pragma once
+
+#include "diagnostics/spectra.hpp"
+
+namespace v6d::diag {
+
+/// Effective spatial resolution of an N-body neutrino field smoothed to
+/// reach signal-to-noise S/N (paper Eq. 9): DeltaL = L / N^(1/3) * (S/N)^(2/3).
+double equivalent_resolution(double box, double n_particles,
+                             double signal_to_noise);
+
+/// Average measured P(k) over the top `frac` of the k range — near the
+/// Nyquist frequency a Poisson-sampled field is shot-noise dominated, so
+/// this estimates the noise floor.
+double high_k_power(const std::vector<SpectrumBin>& bins, double frac = 0.25);
+
+/// Ratio of measured small-scale power to the analytic Poisson level
+/// (~1 for pure shot noise, >> 1 for resolved structure).
+double shot_noise_excess(const std::vector<SpectrumBin>& bins, double box,
+                         double n_particles);
+
+}  // namespace v6d::diag

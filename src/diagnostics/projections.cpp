@@ -1,0 +1,62 @@
+#include "diagnostics/projections.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace v6d::diag {
+
+double Map2D::min() const {
+  return values.empty() ? 0.0 : *std::min_element(values.begin(), values.end());
+}
+double Map2D::max() const {
+  return values.empty() ? 0.0 : *std::max_element(values.begin(), values.end());
+}
+double Map2D::mean() const {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double Map2D::log_contrast_rms() const {
+  const double m = mean();
+  if (m <= 0.0) return 0.0;
+  double acc = 0.0;
+  long count = 0;
+  for (double v : values) {
+    if (v <= 0.0) continue;
+    const double l = std::log10(v / m);
+    acc += l * l;
+    ++count;
+  }
+  return count > 0 ? std::sqrt(acc / static_cast<double>(count)) : 0.0;
+}
+
+Map2D project_z(const mesh::Grid3D<double>& field) {
+  return project_z_region(field, 0, field.nz());
+}
+
+Map2D project_z_region(const mesh::Grid3D<double>& field, int lo, int hi) {
+  Map2D map;
+  map.nx = field.nx();
+  map.ny = field.ny();
+  map.values.assign(static_cast<std::size_t>(map.nx) * map.ny, 0.0);
+  const int depth = hi - lo;
+  for (int i = 0; i < field.nx(); ++i)
+    for (int j = 0; j < field.ny(); ++j) {
+      double acc = 0.0;
+      for (int k = lo; k < hi; ++k) acc += field.at(i, j, k);
+      map.at(i, j) = acc / std::max(1, depth);
+    }
+  return map;
+}
+
+Map2D log_overdensity(const Map2D& map) {
+  Map2D out = map;
+  const double mean = map.mean();
+  for (double& v : out.values)
+    v = (v > 0.0 && mean > 0.0) ? std::log10(v / mean) : -10.0;
+  return out;
+}
+
+}  // namespace v6d::diag

@@ -1,0 +1,36 @@
+// 2-D projections of 3-D fields (the density maps of Figs. 4, 6, 8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mesh/grid.hpp"
+
+namespace v6d::diag {
+
+struct Map2D {
+  int nx = 0, ny = 0;
+  std::vector<double> values;  // row-major, ny contiguous
+
+  double& at(int i, int j) { return values[static_cast<std::size_t>(i) * ny + j]; }
+  double at(int i, int j) const {
+    return values[static_cast<std::size_t>(i) * ny + j];
+  }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// rms of log10(value/mean) over positive cells — the clustering
+  /// contrast statistic quoted for the paper's density maps.
+  double log_contrast_rms() const;
+};
+
+/// Project (average) along the z axis.
+Map2D project_z(const mesh::Grid3D<double>& field);
+
+/// Project a sub-box [lo, hi) cells (zoom levels of Fig. 8).
+Map2D project_z_region(const mesh::Grid3D<double>& field, int lo, int hi);
+
+/// log10(value / mean) of a map, for visual output.
+Map2D log_overdensity(const Map2D& map);
+
+}  // namespace v6d::diag

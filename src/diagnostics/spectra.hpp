@@ -1,0 +1,32 @@
+// Power-spectrum measurement of gridded density fields.
+#pragma once
+
+#include <vector>
+
+#include "mesh/grid.hpp"
+
+namespace v6d::diag {
+
+struct SpectrumBin {
+  double k = 0.0;       // bin-average wavenumber [h/Mpc]
+  double power = 0.0;   // P(k) [(h^-1 Mpc)^3]
+  long modes = 0;       // mode count in the bin
+};
+
+/// P(k) of the overdensity of `rho` (delta = rho/<rho> - 1) on a periodic
+/// box of length `box`.  Bins are linear in k with width 2*pi/box.
+std::vector<SpectrumBin> measure_power(const mesh::Grid3D<double>& rho,
+                                       double box);
+
+/// Cross-correlation coefficient r(k) = P_ab / sqrt(P_a P_b) per bin.
+std::vector<double> cross_correlation(const mesh::Grid3D<double>& a,
+                                      const mesh::Grid3D<double>& b,
+                                      double box,
+                                      std::vector<SpectrumBin>* bins = nullptr);
+
+/// Poisson shot-noise level V / N for a sampled field.
+inline double shot_noise_level(double box, double n_particles) {
+  return box * box * box / n_particles;
+}
+
+}  // namespace v6d::diag

@@ -1,0 +1,57 @@
+#include "diagnostics/vdf_probe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace v6d::diag {
+
+double VdfSlice::max() const {
+  return values.empty() ? 0.0 : *std::max_element(values.begin(), values.end());
+}
+
+double VdfSlice::resolved_decades() const {
+  const double peak = max();
+  if (peak <= 0.0) return 0.0;
+  double smallest = peak;
+  for (double v : values)
+    if (v > 0.0) smallest = std::min(smallest, v);
+  return std::log10(peak / smallest);
+}
+
+VdfSlice probe_vdf(const vlasov::PhaseSpace& f, int ix, int iy, int iz) {
+  const auto& d = f.dims();
+  VdfSlice slice;
+  slice.nux = d.nux;
+  slice.nuy = d.nuy;
+  slice.umax = f.geom().umax;
+  slice.values.assign(static_cast<std::size_t>(d.nux) * d.nuy, 0.0);
+  const float* block = f.block(ix, iy, iz);
+  for (int a = 0; a < d.nux; ++a)
+    for (int b = 0; b < d.nuy; ++b) {
+      double acc = 0.0;
+      for (int c = 0; c < d.nuz; ++c)
+        acc += block[f.velocity_index(a, b, c)];
+      slice.values[static_cast<std::size_t>(a) * d.nuy + b] =
+          acc * f.geom().duz;
+    }
+  return slice;
+}
+
+CellParticles particles_in_cell(const nbody::Particles& particles,
+                                double box, int n, int ix, int iy, int iz) {
+  CellParticles out;
+  const double h = box / n;
+  for (std::size_t p = 0; p < particles.size(); ++p) {
+    const int ci = static_cast<int>(particles.x[p] / h);
+    const int cj = static_cast<int>(particles.y[p] / h);
+    const int ck = static_cast<int>(particles.z[p] / h);
+    if (ci == ix && cj == iy && ck == iz) {
+      out.ux.push_back(particles.ux[p]);
+      out.uy.push_back(particles.uy[p]);
+      out.uz.push_back(particles.uz[p]);
+    }
+  }
+  return out;
+}
+
+}  // namespace v6d::diag

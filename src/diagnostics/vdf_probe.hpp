@@ -1,0 +1,39 @@
+// Velocity-distribution probe at a single spatial cell (Fig. 5): the
+// Vlasov f(ux, uy) slice (integrated over uz) versus the velocities of the
+// N-body particles occupying the same cell.
+#pragma once
+
+#include <vector>
+
+#include "nbody/particles.hpp"
+#include "vlasov/phase_space.hpp"
+
+namespace v6d::diag {
+
+struct VdfSlice {
+  int nux = 0, nuy = 0;
+  double umax = 0.0;
+  std::vector<double> values;  // f integrated over uz; row-major, nuy contig
+
+  double at(int a, int b) const {
+    return values[static_cast<std::size_t>(a) * nuy + b];
+  }
+  double max() const;
+  /// Number of decades of f resolved between the peak and the smallest
+  /// positive value — the "smooth, long-tailed distribution" statistic.
+  double resolved_decades() const;
+};
+
+/// Integrate f over uz at spatial cell (ix, iy, iz).
+VdfSlice probe_vdf(const vlasov::PhaseSpace& f, int ix, int iy, int iz);
+
+struct CellParticles {
+  std::vector<double> ux, uy, uz;
+};
+
+/// Velocities of all particles inside spatial cell (ix, iy, iz) of a grid
+/// with cell size (box / n) per axis.
+CellParticles particles_in_cell(const nbody::Particles& particles,
+                                double box, int n, int ix, int iy, int iz);
+
+}  // namespace v6d::diag

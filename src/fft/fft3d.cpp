@@ -1,0 +1,60 @@
+#include "fft/fft3d.hpp"
+
+#include <vector>
+
+namespace v6d::fft {
+
+Fft3D::Fft3D(int nx, int ny, int nz)
+    : nx_(nx), ny_(ny), nz_(nz), px_(nx), py_(ny), pz_(nz) {}
+
+void Fft3D::transform_axis(cplx* data, int axis, bool inverse) const {
+  const std::ptrdiff_t sy = nz_;
+  const std::ptrdiff_t sx = static_cast<std::ptrdiff_t>(ny_) * nz_;
+  const FftPlan& plan = axis == 0 ? px_ : axis == 1 ? py_ : pz_;
+  const int n = plan.size();
+
+  if (axis == 2) {
+    // Contiguous lines.
+    for (int i = 0; i < nx_; ++i)
+      for (int j = 0; j < ny_; ++j) {
+        cplx* line = data + i * sx + j * sy;
+        if (inverse)
+          plan.inverse(line);
+        else
+          plan.forward(line);
+      }
+    return;
+  }
+
+  std::vector<cplx> line(static_cast<std::size_t>(n));
+  const std::ptrdiff_t stride = axis == 0 ? sx : sy;
+  const int n_outer = axis == 0 ? ny_ : nx_;
+  const int n_inner = nz_;
+  for (int o = 0; o < n_outer; ++o)
+    for (int k = 0; k < n_inner; ++k) {
+      cplx* base = axis == 0 ? data + o * sy + k : data + o * sx + k;
+      for (int m = 0; m < n; ++m) line[static_cast<std::size_t>(m)] = base[m * stride];
+      if (inverse)
+        plan.inverse(line.data());
+      else
+        plan.forward(line.data());
+      for (int m = 0; m < n; ++m) base[m * stride] = line[static_cast<std::size_t>(m)];
+    }
+}
+
+void Fft3D::forward(cplx* data) const {
+  transform_axis(data, 2, false);
+  transform_axis(data, 1, false);
+  transform_axis(data, 0, false);
+}
+
+void Fft3D::inverse_normalized(cplx* data) const {
+  transform_axis(data, 0, true);
+  transform_axis(data, 1, true);
+  transform_axis(data, 2, true);
+  const double scale = 1.0 / static_cast<double>(size());
+  const std::size_t total = size();
+  for (std::size_t i = 0; i < total; ++i) data[i] *= scale;
+}
+
+}  // namespace v6d::fft

@@ -1,0 +1,30 @@
+// Serial 3-D complex FFT over row-major (z-contiguous) arrays.
+#pragma once
+
+#include "fft/fft1d.hpp"
+
+namespace v6d::fft {
+
+class Fft3D {
+ public:
+  Fft3D(int nx, int ny, int nz);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::size_t size() const {
+    return static_cast<std::size_t>(nx_) * ny_ * nz_;
+  }
+
+  /// In-place transforms; data is nx*ny*nz row-major, z contiguous.
+  void forward(cplx* data) const;
+  void inverse_normalized(cplx* data) const;
+
+ private:
+  void transform_axis(cplx* data, int axis, bool inverse) const;
+
+  int nx_, ny_, nz_;
+  FftPlan px_, py_, pz_;
+};
+
+}  // namespace v6d::fft

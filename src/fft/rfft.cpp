@@ -1,0 +1,18 @@
+#include "fft/rfft.hpp"
+
+namespace v6d::fft {
+
+void RealFft3D::forward(const double* real, cplx* spec) const {
+  const std::size_t n = fft_.size();
+  for (std::size_t i = 0; i < n; ++i) spec[i] = cplx(real[i], 0.0);
+  fft_.forward(spec);
+}
+
+void RealFft3D::inverse(const cplx* spec, double* real) const {
+  const std::size_t n = fft_.size();
+  std::vector<cplx> work(spec, spec + n);
+  fft_.inverse_normalized(work.data());
+  for (std::size_t i = 0; i < n; ++i) real[i] = work[i].real();
+}
+
+}  // namespace v6d::fft

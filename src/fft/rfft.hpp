@@ -1,0 +1,31 @@
+// Real-field convenience wrappers around the complex 3-D FFT.
+//
+// PM meshes are real; these helpers embed a real field into a complex array,
+// transform, and extract.  The spectrum is kept full-size (no Hermitian
+// packing) — PM grids in this reproduction are small and the full spectrum
+// keeps the Green-function multiply trivial.
+#pragma once
+
+#include <vector>
+
+#include "fft/fft3d.hpp"
+
+namespace v6d::fft {
+
+class RealFft3D {
+ public:
+  RealFft3D(int nx, int ny, int nz) : fft_(nx, ny, nz) {}
+
+  const Fft3D& complex_fft() const { return fft_; }
+
+  /// real (nx*ny*nz, row-major) -> full complex spectrum (same shape).
+  void forward(const double* real, cplx* spec) const;
+  /// spectrum -> real field (takes the real part; imaginary residue of a
+  /// Hermitian spectrum is FP noise).
+  void inverse(const cplx* spec, double* real) const;
+
+ private:
+  Fft3D fft_;
+};
+
+}  // namespace v6d::fft

@@ -1,0 +1,96 @@
+#include "gravity/pm.hpp"
+
+#include <cassert>
+
+#include "mesh/interp.hpp"
+
+namespace v6d::gravity {
+
+PmSolver::PmSolver(double box, const PmOptions& options)
+    : box_(box),
+      options_(options),
+      poisson_(options.grid, box),
+      rho_(options.grid, options.grid, options.grid, 2),
+      phi_(options.grid, options.grid, options.grid, 2),
+      fx_(options.grid, options.grid, options.grid, 2),
+      fy_(options.grid, options.grid, options.grid, 2),
+      fz_(options.grid, options.grid, options.grid, 2) {
+  patch_.box = box;
+  patch_.n_global = options.grid;
+}
+
+void PmSolver::clear_density() { rho_.fill(0.0); }
+
+void PmSolver::deposit_particles(const nbody::Particles& particles) {
+  mesh::deposit(rho_, patch_, particles.x, particles.y, particles.z,
+                particles.mass, options_.assignment);
+  rho_.fold_ghosts_periodic();
+}
+
+void PmSolver::add_density(const mesh::Grid3D<double>& rho) {
+  assert(rho.nx() == options_.grid && rho.ny() == options_.grid &&
+         rho.nz() == options_.grid);
+  for (int i = 0; i < rho.nx(); ++i)
+    for (int j = 0; j < rho.ny(); ++j)
+      for (int k = 0; k < rho.nz(); ++k) rho_.at(i, j, k) += rho.at(i, j, k);
+}
+
+void PmSolver::solve_forces() {
+  PoissonOptions popt;
+  popt.green = options_.green;
+  popt.prefactor = options_.prefactor;
+  popt.longrange_split_rs = options_.longrange_split_rs;
+  popt.deconvolve_order =
+      options_.assignment == mesh::Assignment::kCic   ? 2
+      : options_.assignment == mesh::Assignment::kTsc ? 3
+                                                      : 0;
+  if (options_.differencing == ForceDifferencing::kSpectral) {
+    poisson_.solve_forces(rho_, fx_, fy_, fz_, popt);
+    // Sign: solve_forces returns -grad(phi) already.
+    poisson_.solve(rho_, phi_, popt);
+  } else {
+    poisson_.solve(rho_, phi_, popt);
+    phi_.fill_ghosts_periodic();
+    // gradient_fd4 returns +grad; negate for acceleration.
+    mesh::gradient_fd4(phi_, box_ / options_.grid, fx_, fy_, fz_);
+    for (int i = 0; i < fx_.nx(); ++i)
+      for (int j = 0; j < fx_.ny(); ++j)
+        for (int k = 0; k < fx_.nz(); ++k) {
+          fx_.at(i, j, k) = -fx_.at(i, j, k);
+          fy_.at(i, j, k) = -fy_.at(i, j, k);
+          fz_.at(i, j, k) = -fz_.at(i, j, k);
+        }
+  }
+  fx_.fill_ghosts_periodic();
+  fy_.fill_ghosts_periodic();
+  fz_.fill_ghosts_periodic();
+}
+
+void PmSolver::gather(const nbody::Particles& particles,
+                      std::vector<double>& ax, std::vector<double>& ay,
+                      std::vector<double>& az) const {
+  const std::size_t n = particles.size();
+  for (std::size_t p = 0; p < n; ++p) {
+    ax[p] += mesh::interpolate(fx_, patch_, particles.x[p], particles.y[p],
+                               particles.z[p], options_.assignment);
+    ay[p] += mesh::interpolate(fy_, patch_, particles.x[p], particles.y[p],
+                               particles.z[p], options_.assignment);
+    az[p] += mesh::interpolate(fz_, patch_, particles.x[p], particles.y[p],
+                               particles.z[p], options_.assignment);
+  }
+}
+
+void PmSolver::accelerations(const nbody::Particles& particles,
+                             std::vector<double>& ax, std::vector<double>& ay,
+                             std::vector<double>& az) {
+  clear_density();
+  deposit_particles(particles);
+  solve_forces();
+  const std::size_t n = particles.size();
+  ax.assign(n, 0.0);
+  ay.assign(n, 0.0);
+  az.assign(n, 0.0);
+  gather(particles, ax, ay, az);
+}
+
+}  // namespace v6d::gravity

@@ -1,0 +1,71 @@
+// Particle-mesh force pipeline: deposit -> Poisson -> gradient -> gather.
+#pragma once
+
+#include <vector>
+
+#include "gravity/poisson.hpp"
+#include "mesh/deposit.hpp"
+#include "nbody/particles.hpp"
+
+namespace v6d::gravity {
+
+enum class ForceDifferencing {
+  kSpectral,  // -i k phi_k (reference quality)
+  kFd4,       // 4-point mesh differencing of phi (the paper's approach)
+};
+
+struct PmOptions {
+  int grid = 32;
+  mesh::Assignment assignment = mesh::Assignment::kCic;
+  GreenFunction green = GreenFunction::kExactK2;
+  ForceDifferencing differencing = ForceDifferencing::kSpectral;
+  double longrange_split_rs = 0.0;  // >0: long-range (TreePM) filter
+  double prefactor = 1.0;           // multiplies (rho - mean)
+};
+
+/// Serial PM solver over the whole box (the parallel decomposition of the
+/// PM part lives in the hybrid layer / parallel FFT module).
+class PmSolver {
+ public:
+  PmSolver(double box, const PmOptions& options);
+
+  const PmOptions& options() const { return options_; }
+  /// Poisson prefactor typically changes every step (4 pi G a^2 factors).
+  void set_prefactor(double prefactor) { options_.prefactor = prefactor; }
+  double box() const { return box_; }
+  const mesh::MeshPatch& patch() const { return patch_; }
+
+  /// Deposit particle mass onto the internal density grid (adding to any
+  /// density already injected with add_density).
+  void clear_density();
+  void deposit_particles(const nbody::Particles& particles);
+  /// Add a pre-gridded density component (e.g. the neutrino moment field,
+  /// interpolated if its grid size differs).
+  void add_density(const mesh::Grid3D<double>& rho);
+  const mesh::Grid3D<double>& density() const { return rho_; }
+
+  /// Solve for mesh accelerations g = -grad(phi) from the current density.
+  void solve_forces();
+  const mesh::Grid3D<double>& fx() const { return fx_; }
+  const mesh::Grid3D<double>& fy() const { return fy_; }
+  const mesh::Grid3D<double>& fz() const { return fz_; }
+  const mesh::Grid3D<double>& potential() const { return phi_; }
+
+  /// Gather accelerations at particle positions (+= into outputs).
+  void gather(const nbody::Particles& particles, std::vector<double>& ax,
+              std::vector<double>& ay, std::vector<double>& az) const;
+
+  /// Convenience one-shot: density from particles only, then forces+gather.
+  void accelerations(const nbody::Particles& particles,
+                     std::vector<double>& ax, std::vector<double>& ay,
+                     std::vector<double>& az);
+
+ private:
+  double box_;
+  PmOptions options_;
+  mesh::MeshPatch patch_;
+  PoissonSolver poisson_;
+  mesh::Grid3D<double> rho_, phi_, fx_, fy_, fz_;
+};
+
+}  // namespace v6d::gravity

@@ -1,0 +1,137 @@
+#include "gravity/poisson.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace v6d::gravity {
+
+namespace {
+
+inline double sinc(double x) { return x == 0.0 ? 1.0 : std::sin(x) / x; }
+
+/// Signed mode number for FFT bin i of n (negative above Nyquist).
+inline int signed_mode(int i, int n) { return i <= n / 2 ? i : i - n; }
+
+}  // namespace
+
+PoissonSolver::PoissonSolver(int n, double box)
+    : PoissonSolver(n, n, n, box, box, box) {}
+
+PoissonSolver::PoissonSolver(int nx, int ny, int nz, double lx, double ly,
+                             double lz)
+    : nx_(nx), ny_(ny), nz_(nz), lx_(lx), ly_(ly), lz_(lz),
+      fft_(nx, ny, nz) {}
+
+void PoissonSolver::spectrum_of(const mesh::Grid3D<double>& rho,
+                                std::vector<fft::cplx>& spec) const {
+  assert(rho.nx() == nx_ && rho.ny() == ny_ && rho.nz() == nz_);
+  // Interior copy (Grid3D may carry ghosts; FFT wants the packed interior).
+  std::vector<double> packed(static_cast<std::size_t>(nx_) * ny_ * nz_);
+  std::size_t o = 0;
+  for (int i = 0; i < nx_; ++i)
+    for (int j = 0; j < ny_; ++j)
+      for (int k = 0; k < nz_; ++k) packed[o++] = rho.at(i, j, k);
+  spec.resize(packed.size());
+  fft_.forward(packed.data(), spec.data());
+}
+
+void PoissonSolver::wavevector(int ix, int iy, int iz, double& kx,
+                               double& ky, double& kz) const {
+  kx = 2.0 * M_PI / lx_ * signed_mode(ix, nx_);
+  ky = 2.0 * M_PI / ly_ * signed_mode(iy, ny_);
+  kz = 2.0 * M_PI / lz_ * signed_mode(iz, nz_);
+}
+
+double PoissonSolver::green_times_window(
+    int ix, int iy, int iz, const PoissonOptions& options) const {
+  if (signed_mode(ix, nx_) == 0 && signed_mode(iy, ny_) == 0 &&
+      signed_mode(iz, nz_) == 0)
+    return 0.0;
+
+  double kx, ky, kz;
+  wavevector(ix, iy, iz, kx, ky, kz);
+  const double hx = lx_ / nx_, hy = ly_ / ny_, hz = lz_ / nz_;
+
+  double k2;
+  if (options.green == GreenFunction::kExactK2) {
+    k2 = kx * kx + ky * ky + kz * kz;
+  } else {
+    const double sx = 2.0 / hx * std::sin(0.5 * kx * hx);
+    const double sy = 2.0 / hy * std::sin(0.5 * ky * hy);
+    const double sz = 2.0 / hz * std::sin(0.5 * kz * hz);
+    k2 = sx * sx + sy * sy + sz * sz;
+  }
+
+  double g = -options.prefactor / k2;
+
+  if (options.deconvolve_order > 0) {
+    // Assignment window W = prod sinc(k_d h_d / 2)^p with p = 2 (CIC),
+    // 3 (TSC); deposit and gather each convolve once -> divide by W^2.
+    const double w = sinc(0.5 * kx * hx) * sinc(0.5 * ky * hy) *
+                     sinc(0.5 * kz * hz);
+    const double wp = std::pow(w, options.deconvolve_order);
+    g /= wp * wp;
+  }
+  if (options.longrange_split_rs > 0.0) {
+    const double rs2 = options.longrange_split_rs * options.longrange_split_rs;
+    const double kk = kx * kx + ky * ky + kz * kz;
+    g *= std::exp(-kk * rs2);
+  }
+  return g;
+}
+
+void PoissonSolver::solve(const mesh::Grid3D<double>& rho,
+                          mesh::Grid3D<double>& phi,
+                          const PoissonOptions& options) const {
+  std::vector<fft::cplx> spec;
+  spectrum_of(rho, spec);
+  std::size_t o = 0;
+  for (int i = 0; i < nx_; ++i)
+    for (int j = 0; j < ny_; ++j)
+      for (int k = 0; k < nz_; ++k)
+        spec[o++] *= green_times_window(i, j, k, options);
+  std::vector<double> out(spec.size());
+  fft_.inverse(spec.data(), out.data());
+  o = 0;
+  for (int i = 0; i < nx_; ++i)
+    for (int j = 0; j < ny_; ++j)
+      for (int k = 0; k < nz_; ++k) phi.at(i, j, k) = out[o++];
+}
+
+void PoissonSolver::solve_forces(const mesh::Grid3D<double>& rho,
+                                 mesh::Grid3D<double>& gx,
+                                 mesh::Grid3D<double>& gy,
+                                 mesh::Grid3D<double>& gz,
+                                 const PoissonOptions& options) const {
+  std::vector<fft::cplx> spec;
+  spectrum_of(rho, spec);
+  std::vector<fft::cplx> cx(spec.size()), cy(spec.size()), cz(spec.size());
+  std::size_t o = 0;
+  for (int i = 0; i < nx_; ++i)
+    for (int j = 0; j < ny_; ++j)
+      for (int k = 0; k < nz_; ++k, ++o) {
+        const double g = green_times_window(i, j, k, options);
+        const fft::cplx phi_k = spec[o] * g;
+        // Force = -grad(phi): multiply by -i k_d.
+        double kx, ky, kz;
+        wavevector(i, j, k, kx, ky, kz);
+        const fft::cplx mi(0.0, -1.0);
+        cx[o] = mi * kx * phi_k;
+        cy[o] = mi * ky * phi_k;
+        cz[o] = mi * kz * phi_k;
+      }
+  std::vector<double> out(spec.size());
+  auto unpack = [&](const std::vector<fft::cplx>& c, mesh::Grid3D<double>& g) {
+    fft_.inverse(c.data(), out.data());
+    std::size_t q = 0;
+    for (int i = 0; i < nx_; ++i)
+      for (int j = 0; j < ny_; ++j)
+        for (int k = 0; k < nz_; ++k) g.at(i, j, k) = out[q++];
+  };
+  unpack(cx, gx);
+  unpack(cy, gy);
+  unpack(cz, gz);
+}
+
+}  // namespace v6d::gravity

@@ -1,0 +1,194 @@
+#include "gravity/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace v6d::gravity {
+
+namespace {
+constexpr int kMaxDepth = 40;
+}
+
+BarnesHutTree::BarnesHutTree(const nbody::Particles& particles, double box,
+                             int leaf_size)
+    : particles_(&particles), box_(box), leaf_size_(leaf_size) {
+  const std::size_t n = particles.size();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = static_cast<int>(i);
+  nodes_.reserve(2 * n / std::max(1, leaf_size) + 64);
+  if (n > 0)
+    build(0, static_cast<int>(n), 0.5 * box, 0.5 * box, 0.5 * box, 0.5 * box,
+          0);
+}
+
+int BarnesHutTree::build(int first, int count, double cx, double cy,
+                         double cz, double half, int depth) {
+  const int idx = static_cast<int>(nodes_.size());
+  nodes_.push_back({});
+  Node node{};
+  node.cx = cx;
+  node.cy = cy;
+  node.cz = cz;
+  node.half = half;
+  node.first = first;
+  node.count = count;
+  std::fill(std::begin(node.children), std::end(node.children), -1);
+
+  // Center of mass over the range.
+  const auto& p = *particles_;
+  double mx = 0.0, my = 0.0, mz = 0.0;
+  for (int i = first; i < first + count; ++i) {
+    const int q = perm_[static_cast<std::size_t>(i)];
+    mx += p.x[static_cast<std::size_t>(q)];
+    my += p.y[static_cast<std::size_t>(q)];
+    mz += p.z[static_cast<std::size_t>(q)];
+  }
+  node.mass = p.mass * count;
+  node.comx = mx / count;
+  node.comy = my / count;
+  node.comz = mz / count;
+
+  if (count <= leaf_size_ || depth >= kMaxDepth) {
+    node.leaf = true;
+    nodes_[static_cast<std::size_t>(idx)] = node;
+    return idx;
+  }
+  node.leaf = false;
+
+  // Counting sort of the range into octants.
+  auto octant = [&](int q) {
+    const auto s = static_cast<std::size_t>(q);
+    return (p.x[s] >= cx ? 4 : 0) | (p.y[s] >= cy ? 2 : 0) |
+           (p.z[s] >= cz ? 1 : 0);
+  };
+  int counts[8] = {0};
+  for (int i = first; i < first + count; ++i)
+    ++counts[octant(perm_[static_cast<std::size_t>(i)])];
+  int starts[8], cursor[8];
+  int acc = first;
+  for (int o = 0; o < 8; ++o) {
+    starts[o] = cursor[o] = acc;
+    acc += counts[o];
+  }
+  std::vector<int> scratch(perm_.begin() + first,
+                           perm_.begin() + first + count);
+  for (int q : scratch) perm_[static_cast<std::size_t>(cursor[octant(q)]++)] = q;
+
+  const double q_half = 0.5 * half;
+  for (int o = 0; o < 8; ++o) {
+    if (counts[o] == 0) continue;
+    const double ox = cx + ((o & 4) ? q_half : -q_half);
+    const double oy = cy + ((o & 2) ? q_half : -q_half);
+    const double oz = cz + ((o & 1) ? q_half : -q_half);
+    node.children[o] =
+        build(starts[o], counts[o], ox, oy, oz, q_half, depth + 1);
+  }
+  nodes_[static_cast<std::size_t>(idx)] = node;
+  return idx;
+}
+
+double BarnesHutTree::min_image(double d) const {
+  if (d > 0.5 * box_) return d - box_;
+  if (d < -0.5 * box_) return d + box_;
+  return d;
+}
+
+void BarnesHutTree::walk(int node_idx, double tx, double ty, double tz,
+                         double theta2, double rcut, std::vector<float>& sx,
+                         std::vector<float>& sy, std::vector<float>& sz,
+                         std::vector<float>& sm) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_idx)];
+  const double dx = min_image(node.comx - tx);
+  const double dy = min_image(node.comy - ty);
+  const double dz = min_image(node.comz - tz);
+  const double d2 = dx * dx + dy * dy + dz * dz;
+
+  // Cutoff pruning: if even the nearest point of the node is outside rcut,
+  // the short-range force from the whole subtree vanishes.
+  if (rcut > 0.0) {
+    const double node_radius = node.half * std::sqrt(3.0);
+    const double dmin = std::sqrt(d2) - node_radius;
+    if (dmin > rcut) return;
+  }
+
+  const double size = 2.0 * node.half;
+  if (!node.leaf && size * size < theta2 * d2) {
+    // Accept as monopole pseudo-particle.
+    sx.push_back(static_cast<float>(dx));
+    sy.push_back(static_cast<float>(dy));
+    sz.push_back(static_cast<float>(dz));
+    sm.push_back(static_cast<float>(node.mass));
+    return;
+  }
+  if (node.leaf) {
+    const auto& p = *particles_;
+    for (int i = node.first; i < node.first + node.count; ++i) {
+      const auto q = static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)]);
+      sx.push_back(static_cast<float>(min_image(p.x[q] - tx)));
+      sy.push_back(static_cast<float>(min_image(p.y[q] - ty)));
+      sz.push_back(static_cast<float>(min_image(p.z[q] - tz)));
+      sm.push_back(static_cast<float>(p.mass));
+    }
+    return;
+  }
+  for (int c : node.children)
+    if (c >= 0) walk(c, tx, ty, tz, theta2, rcut, sx, sy, sz, sm);
+}
+
+void BarnesHutTree::accumulate(const double* tx, const double* ty,
+                               const double* tz, std::size_t nt,
+                               const PpKernelParams& params,
+                               const CutoffPoly& poly, double theta,
+                               bool use_simd, double* ax, double* ay,
+                               double* az, TreeStats* stats) const {
+  if (nodes_.empty()) return;
+  std::vector<float> sx, sy, sz, sm;
+  std::vector<double> dsx, dsy, dsz, dsm;
+  for (std::size_t t = 0; t < nt; ++t) {
+    sx.clear();
+    sy.clear();
+    sz.clear();
+    sm.clear();
+    // Interaction list with displacements relative to the target: float
+    // staging stays accurate because |displacement| <= rcut << box.
+    walk(0, tx[t], ty[t], tz[t], theta * theta, params.rcut, sx, sy, sz, sm);
+    if (stats) stats->p2p_interactions += sx.size();
+    if (use_simd) {
+      const float zero3[3] = {0.0f, 0.0f, 0.0f};
+      float fax = 0.0f, fay = 0.0f, faz = 0.0f;
+      pp_accumulate_simd(&zero3[0], &zero3[1], &zero3[2], 1, sx.data(),
+                         sy.data(), sz.data(), sm.data(), sx.size(), params,
+                         poly, &fax, &fay, &faz);
+      ax[t] += fax;
+      ay[t] += fay;
+      az[t] += faz;
+    } else {
+      dsx.assign(sx.begin(), sx.end());
+      dsy.assign(sy.begin(), sy.end());
+      dsz.assign(sz.begin(), sz.end());
+      dsm.assign(sm.begin(), sm.end());
+      const double zero3[3] = {0.0, 0.0, 0.0};
+      pp_accumulate_scalar(&zero3[0], &zero3[1], &zero3[2], 1, dsx.data(),
+                           dsy.data(), dsz.data(), dsm.data(), dsx.size(),
+                           params, ax + t, ay + t, az + t);
+    }
+  }
+}
+
+void BarnesHutTree::accelerations(const nbody::Particles& particles,
+                                  const PpKernelParams& params,
+                                  const CutoffPoly& poly, double theta,
+                                  bool use_simd, std::vector<double>& ax,
+                                  std::vector<double>& ay,
+                                  std::vector<double>& az,
+                                  TreeStats* stats) const {
+  const std::size_t n = particles.size();
+  ax.assign(n, 0.0);
+  ay.assign(n, 0.0);
+  az.assign(n, 0.0);
+  accumulate(particles.x.data(), particles.y.data(), particles.z.data(), n,
+             params, poly, theta, use_simd, ax.data(), ay.data(), az.data(),
+             stats);
+}
+
+}  // namespace v6d::gravity

@@ -1,0 +1,39 @@
+#include "io/pgm.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace v6d::io {
+
+bool write_pgm(const std::string& path, const diag::Map2D& map, double lo,
+               double hi) {
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  if (!fp) return false;
+  std::fprintf(fp, "P5\n%d %d\n255\n", map.ny, map.nx);
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (int i = 0; i < map.nx; ++i)
+    for (int j = 0; j < map.ny; ++j) {
+      const double t = std::clamp((map.at(i, j) - lo) / span, 0.0, 1.0);
+      const unsigned char byte = static_cast<unsigned char>(255.0 * t);
+      std::fwrite(&byte, 1, 1, fp);
+    }
+  std::fclose(fp);
+  return true;
+}
+
+bool write_pgm(const std::string& path, const diag::Map2D& map) {
+  return write_pgm(path, map, map.min(), map.max());
+}
+
+bool write_csv(const std::string& path, const diag::Map2D& map) {
+  std::FILE* fp = std::fopen(path.c_str(), "w");
+  if (!fp) return false;
+  for (int i = 0; i < map.nx; ++i) {
+    for (int j = 0; j < map.ny; ++j)
+      std::fprintf(fp, "%g%c", map.at(i, j), j + 1 < map.ny ? ',' : '\n');
+  }
+  std::fclose(fp);
+  return true;
+}
+
+}  // namespace v6d::io

@@ -1,0 +1,21 @@
+// Grayscale PGM output for the density-map figures (4, 6, 8).
+#pragma once
+
+#include <string>
+
+#include "diagnostics/projections.hpp"
+
+namespace v6d::io {
+
+/// Write a map as 8-bit PGM, linearly scaled between lo and hi (values
+/// outside are clamped).  Returns false on I/O failure.
+bool write_pgm(const std::string& path, const diag::Map2D& map, double lo,
+               double hi);
+
+/// Auto-scaled variant (min..max of the map).
+bool write_pgm(const std::string& path, const diag::Map2D& map);
+
+/// Write a map as CSV (one row per x index).
+bool write_csv(const std::string& path, const diag::Map2D& map);
+
+}  // namespace v6d::io

@@ -1,0 +1,127 @@
+#include "io/snapshot.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace v6d::io {
+
+namespace {
+
+constexpr std::uint32_t kParticlesMagic = 0x76364e42;  // "v6NB"
+constexpr std::uint32_t kPhaseSpaceMagic = 0x76365653;  // "v6VS"
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* fp) const {
+    if (fp) std::fclose(fp);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <class T>
+bool write_raw(std::FILE* fp, const T* data, std::size_t count) {
+  return std::fwrite(data, sizeof(T), count, fp) == count;
+}
+template <class T>
+bool read_raw(std::FILE* fp, T* data, std::size_t count) {
+  return std::fread(data, sizeof(T), count, fp) == count;
+}
+
+}  // namespace
+
+bool write_particles(const std::string& path,
+                     const nbody::Particles& particles) {
+  FilePtr fp(std::fopen(path.c_str(), "wb"));
+  if (!fp) return false;
+  const std::uint32_t magic = kParticlesMagic, version = kVersion;
+  const std::uint64_t n = particles.size();
+  if (!write_raw(fp.get(), &magic, 1) || !write_raw(fp.get(), &version, 1) ||
+      !write_raw(fp.get(), &n, 1) ||
+      !write_raw(fp.get(), &particles.mass, 1))
+    return false;
+  for (const auto* v : {&particles.x, &particles.y, &particles.z,
+                        &particles.ux, &particles.uy, &particles.uz})
+    if (!write_raw(fp.get(), v->data(), v->size())) return false;
+  return write_raw(fp.get(), particles.id.data(), particles.id.size());
+}
+
+bool read_particles(const std::string& path, nbody::Particles& particles) {
+  FilePtr fp(std::fopen(path.c_str(), "rb"));
+  if (!fp) return false;
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t n = 0;
+  if (!read_raw(fp.get(), &magic, 1) || magic != kParticlesMagic) return false;
+  if (!read_raw(fp.get(), &version, 1) || version != kVersion) return false;
+  if (!read_raw(fp.get(), &n, 1)) return false;
+  particles.resize(static_cast<std::size_t>(n));
+  if (!read_raw(fp.get(), &particles.mass, 1)) return false;
+  for (auto* v : {&particles.x, &particles.y, &particles.z, &particles.ux,
+                  &particles.uy, &particles.uz})
+    if (!read_raw(fp.get(), v->data(), v->size())) return false;
+  return read_raw(fp.get(), particles.id.data(), particles.id.size());
+}
+
+bool write_phase_space(const std::string& path, const vlasov::PhaseSpace& f) {
+  FilePtr fp(std::fopen(path.c_str(), "wb"));
+  if (!fp) return false;
+  const std::uint32_t magic = kPhaseSpaceMagic, version = kVersion;
+  const auto& d = f.dims();
+  const std::int32_t dims[7] = {d.nx, d.ny, d.nz, d.nux, d.nuy, d.nuz,
+                                d.ghost};
+  const auto& g = f.geom();
+  const double geom[10] = {g.x0, g.y0, g.z0,  g.dx,  g.dy,
+                           g.dz, g.umax, g.dux, g.duy, g.duz};
+  if (!write_raw(fp.get(), &magic, 1) || !write_raw(fp.get(), &version, 1) ||
+      !write_raw(fp.get(), dims, 7) || !write_raw(fp.get(), geom, 10))
+    return false;
+  // Interior blocks only (ghosts are reconstructed).
+  for (int ix = 0; ix < d.nx; ++ix)
+    for (int iy = 0; iy < d.ny; ++iy)
+      for (int iz = 0; iz < d.nz; ++iz)
+        if (!write_raw(fp.get(), f.block(ix, iy, iz), f.block_size()))
+          return false;
+  return true;
+}
+
+bool read_phase_space(const std::string& path, vlasov::PhaseSpace& f) {
+  FilePtr fp(std::fopen(path.c_str(), "rb"));
+  if (!fp) return false;
+  std::uint32_t magic = 0, version = 0;
+  std::int32_t dims[7];
+  double geom[10];
+  if (!read_raw(fp.get(), &magic, 1) || magic != kPhaseSpaceMagic)
+    return false;
+  if (!read_raw(fp.get(), &version, 1) || version != kVersion) return false;
+  if (!read_raw(fp.get(), dims, 7) || !read_raw(fp.get(), geom, 10))
+    return false;
+  vlasov::PhaseSpaceDims d;
+  d.nx = dims[0];
+  d.ny = dims[1];
+  d.nz = dims[2];
+  d.nux = dims[3];
+  d.nuy = dims[4];
+  d.nuz = dims[5];
+  d.ghost = dims[6];
+  vlasov::PhaseSpaceGeometry g;
+  g.x0 = geom[0];
+  g.y0 = geom[1];
+  g.z0 = geom[2];
+  g.dx = geom[3];
+  g.dy = geom[4];
+  g.dz = geom[5];
+  g.umax = geom[6];
+  g.dux = geom[7];
+  g.duy = geom[8];
+  g.duz = geom[9];
+  f = vlasov::PhaseSpace(d, g);
+  for (int ix = 0; ix < d.nx; ++ix)
+    for (int iy = 0; iy < d.ny; ++iy)
+      for (int iz = 0; iz < d.nz; ++iz)
+        if (!read_raw(fp.get(), f.block(ix, iy, iz), f.block_size()))
+          return false;
+  return true;
+}
+
+}  // namespace v6d::io

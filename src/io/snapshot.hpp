@@ -1,0 +1,22 @@
+// Binary snapshot / checkpoint files for particles and phase space.
+//
+// Format: fixed little-endian header (magic, version, payload dims)
+// followed by raw arrays.  The paper's end-to-end timing includes I/O
+// (§7.2); the TTS bench writes these snapshots for the same reason.
+#pragma once
+
+#include <string>
+
+#include "nbody/particles.hpp"
+#include "vlasov/phase_space.hpp"
+
+namespace v6d::io {
+
+bool write_particles(const std::string& path,
+                     const nbody::Particles& particles);
+bool read_particles(const std::string& path, nbody::Particles& particles);
+
+bool write_phase_space(const std::string& path, const vlasov::PhaseSpace& f);
+bool read_phase_space(const std::string& path, vlasov::PhaseSpace& f);
+
+}  // namespace v6d::io

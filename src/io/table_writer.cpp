@@ -1,0 +1,51 @@
+#include "io/table_writer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace v6d::io {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TableWriter& TableWriter::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void TableWriter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "  ";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : "";
+      os << text << std::string(widths[c] - text.size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::size_t total = 2;
+  for (std::size_t w : widths) total += w + 2;
+  os << "  " << std::string(total - 2, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TableWriter::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision + 2, value);
+  return buf;
+}
+
+std::string TableWriter::fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * fraction);
+  return buf;
+}
+
+}  // namespace v6d::io

@@ -1,0 +1,27 @@
+// Aligned text tables for the bench harness output (the "same rows the
+// paper reports" requirement).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace v6d::io {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  TableWriter& row(std::vector<std::string> cells);
+  /// Render with aligned columns to the stream (default stdout).
+  void print(std::ostream& os = std::cout) const;
+
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace v6d::io

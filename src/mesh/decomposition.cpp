@@ -1,0 +1,35 @@
+#include "mesh/decomposition.hpp"
+
+namespace v6d::mesh {
+
+BrickDecomposition::BrickDecomposition(std::array<int, 3> global,
+                                       std::array<int, 3> dims,
+                                       std::array<int, 3> coords)
+    : global_(global), dims_(dims), coords_(coords) {
+  for (int i = 0; i < 3; ++i) {
+    const auto a = static_cast<std::size_t>(i);
+    local_n_[a] = share(global[a], dims[a], coords[a]);
+    offset_[a] = share_offset(global[a], dims[a], coords[a]);
+  }
+}
+
+int BrickDecomposition::share(int global, int parts, int coord) {
+  const int base = global / parts;
+  const int extra = global % parts;
+  return base + (coord < extra ? 1 : 0);
+}
+
+int BrickDecomposition::share_offset(int global, int parts, int coord) {
+  const int base = global / parts;
+  const int extra = global % parts;
+  return coord * base + (coord < extra ? coord : extra);
+}
+
+int BrickDecomposition::owner_coord(int global, int parts, int g) {
+  // Invert share_offset by scanning; parts is small (<= a few hundred).
+  for (int c = parts - 1; c >= 0; --c)
+    if (share_offset(global, parts, c) <= g) return c;
+  return 0;
+}
+
+}  // namespace v6d::mesh

@@ -1,0 +1,11 @@
+#include "mesh/grid.hpp"
+
+// Grid3D is header-only; this translation unit pins explicit instantiations
+// of the common element types so template code is compiled (and warned
+// about) exactly once.
+namespace v6d::mesh {
+
+template class Grid3D<float>;
+template class Grid3D<double>;
+
+}  // namespace v6d::mesh

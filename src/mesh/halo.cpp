@@ -1,0 +1,262 @@
+#include "mesh/halo.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace v6d::mesh {
+
+namespace {
+
+// Tags: axis * 4 + (0: to backward neighbor, 1: to forward neighbor) + a
+// base offset distinguishing exchange kinds.
+constexpr int kHaloTagBase = 100;
+constexpr int kFoldTagBase = 200;
+
+struct Range {
+  int lo, hi;  // half-open interval of cell indices
+  int count() const { return hi - lo; }
+};
+
+// Generic axis exchange over an indexable 3-D container of `Cell` payloads.
+// get/set copy whole payload units (a scalar for mesh grids, a velocity
+// block for phase space).
+template <class Pack, class Unpack>
+void exchange_axis(comm::CartTopology& cart, int axis, int n_axis, int ghost,
+                   Range t1, Range t2, int tag_base, Pack&& pack,
+                   Unpack&& unpack) {
+  auto& comm = cart.comm();
+  const auto nbr = cart.neighbors(axis);
+
+  // Send our low interior layers to the backward neighbor (they become its
+  // high ghosts) and vice versa.
+  auto make_buf = [&](int lo, int count) {
+    std::vector<float> buf;
+    pack(lo, count, t1, t2, buf);
+    return buf;
+  };
+
+  const int tag_fwd = tag_base + axis * 4 + 0;  // travelling +axis
+  const int tag_bwd = tag_base + axis * 4 + 1;  // travelling -axis
+
+  // High interior -> forward neighbor's low ghosts.
+  std::vector<float> send_hi = make_buf(n_axis - ghost, ghost);
+  comm.send(nbr[1], tag_fwd, send_hi.data(), send_hi.size());
+  // Low interior -> backward neighbor's high ghosts.
+  std::vector<float> send_lo = make_buf(0, ghost);
+  comm.send(nbr[0], tag_bwd, send_lo.data(), send_lo.size());
+
+  std::vector<float> recv_lo(send_hi.size());
+  comm.recv(nbr[0], tag_fwd, recv_lo.data(), recv_lo.size());
+  unpack(-ghost, ghost, t1, t2, recv_lo);
+
+  std::vector<float> recv_hi(send_lo.size());
+  comm.recv(nbr[1], tag_bwd, recv_hi.data(), recv_hi.size());
+  unpack(n_axis, ghost, t1, t2, recv_hi);
+}
+
+}  // namespace
+
+void exchange_phase_space_halo(vlasov::PhaseSpace& f,
+                               comm::CartTopology& cart) {
+  if (cart.comm().size() == 1) {
+    f.fill_ghosts_periodic();
+    return;
+  }
+  const auto& d = f.dims();
+  const int g = d.ghost;
+  const std::size_t bs = f.block_size();
+  const int n[3] = {d.nx, d.ny, d.nz};
+
+  // Axis-by-axis; transverse ranges grow as earlier axes fill their ghosts.
+  for (int axis = 0; axis < 3; ++axis) {
+    // Transverse extents: axes already exchanged include ghosts.
+    Range r[3];
+    for (int t = 0; t < 3; ++t)
+      r[t] = t < axis ? Range{-g, n[t] + g} : Range{0, n[t]};
+
+    auto cell = [&](int a, int b, int c) -> float* {
+      int idx[3];
+      idx[axis] = a;
+      int tpos = 0;
+      for (int t = 0; t < 3; ++t) {
+        if (t == axis) continue;
+        idx[t] = tpos == 0 ? b : c;
+        ++tpos;
+      }
+      return f.block(idx[0], idx[1], idx[2]);
+    };
+    // Identify the two transverse axes (in increasing order).
+    int ta = -1, tb = -1;
+    for (int t = 0; t < 3; ++t) {
+      if (t == axis) continue;
+      (ta < 0 ? ta : tb) = t;
+    }
+
+    auto pack = [&](int lo, int count, Range t1, Range t2,
+                    std::vector<float>& buf) {
+      buf.resize(static_cast<std::size_t>(count) * t1.count() * t2.count() *
+                 bs);
+      std::size_t o = 0;
+      for (int a = lo; a < lo + count; ++a)
+        for (int b = t1.lo; b < t1.hi; ++b)
+          for (int c = t2.lo; c < t2.hi; ++c) {
+            std::memcpy(buf.data() + o, cell(a, b, c), bs * sizeof(float));
+            o += bs;
+          }
+    };
+    auto unpack = [&](int lo, int count, Range t1, Range t2,
+                      const std::vector<float>& buf) {
+      std::size_t o = 0;
+      for (int a = lo; a < lo + count; ++a)
+        for (int b = t1.lo; b < t1.hi; ++b)
+          for (int c = t2.lo; c < t2.hi; ++c) {
+            std::memcpy(cell(a, b, c), buf.data() + o, bs * sizeof(float));
+            o += bs;
+          }
+    };
+    exchange_axis(cart, axis, n[axis], g, r[ta], r[tb], kHaloTagBase, pack,
+                  unpack);
+  }
+}
+
+namespace {
+
+template <class T>
+void exchange_grid_halo_impl(Grid3D<T>& grid, comm::CartTopology& cart) {
+  if (cart.comm().size() == 1) {
+    grid.fill_ghosts_periodic();
+    return;
+  }
+  auto& comm = cart.comm();
+  const int g = grid.ghost();
+  if (g == 0) return;
+  const int n[3] = {grid.nx(), grid.ny(), grid.nz()};
+
+  for (int axis = 0; axis < 3; ++axis) {
+    Range r[3];
+    for (int t = 0; t < 3; ++t)
+      r[t] = t < axis ? Range{-g, n[t] + g} : Range{0, n[t]};
+    int ta = -1, tb = -1;
+    for (int t = 0; t < 3; ++t) {
+      if (t == axis) continue;
+      (ta < 0 ? ta : tb) = t;
+    }
+    auto at = [&](int a, int b, int c) -> T& {
+      int idx[3];
+      idx[axis] = a;
+      int tpos = 0;
+      for (int t = 0; t < 3; ++t) {
+        if (t == axis) continue;
+        idx[t] = tpos == 0 ? b : c;
+        ++tpos;
+      }
+      return grid.at(idx[0], idx[1], idx[2]);
+    };
+    const auto nbr = cart.neighbors(axis);
+    auto pack = [&](int lo, int count) {
+      std::vector<T> buf;
+      buf.reserve(static_cast<std::size_t>(count) * r[ta].count() *
+                  r[tb].count());
+      for (int a = lo; a < lo + count; ++a)
+        for (int b = r[ta].lo; b < r[ta].hi; ++b)
+          for (int c = r[tb].lo; c < r[tb].hi; ++c) buf.push_back(at(a, b, c));
+      return buf;
+    };
+    auto unpack = [&](int lo, int count, const std::vector<T>& buf) {
+      std::size_t o = 0;
+      for (int a = lo; a < lo + count; ++a)
+        for (int b = r[ta].lo; b < r[ta].hi; ++b)
+          for (int c = r[tb].lo; c < r[tb].hi; ++c) at(a, b, c) = buf[o++];
+    };
+    const int tag_fwd = kHaloTagBase + 50 + axis * 4;
+    const int tag_bwd = kHaloTagBase + 50 + axis * 4 + 1;
+    auto send_hi = pack(n[axis] - g, g);
+    comm.send(nbr[1], tag_fwd, send_hi.data(), send_hi.size());
+    auto send_lo = pack(0, g);
+    comm.send(nbr[0], tag_bwd, send_lo.data(), send_lo.size());
+    std::vector<T> recv_lo(send_hi.size());
+    comm.recv(nbr[0], tag_fwd, recv_lo.data(), recv_lo.size());
+    unpack(-g, g, recv_lo);
+    std::vector<T> recv_hi(send_lo.size());
+    comm.recv(nbr[1], tag_bwd, recv_hi.data(), recv_hi.size());
+    unpack(n[axis], g, recv_hi);
+  }
+}
+
+}  // namespace
+
+void exchange_grid_halo(Grid3D<double>& g, comm::CartTopology& cart) {
+  exchange_grid_halo_impl(g, cart);
+}
+void exchange_grid_halo(Grid3D<float>& g, comm::CartTopology& cart) {
+  exchange_grid_halo_impl(g, cart);
+}
+
+void fold_grid_halo(Grid3D<double>& grid, comm::CartTopology& cart) {
+  if (cart.comm().size() == 1) {
+    grid.fold_ghosts_periodic();
+    return;
+  }
+  auto& comm = cart.comm();
+  const int g = grid.ghost();
+  if (g == 0) return;
+  const int n[3] = {grid.nx(), grid.ny(), grid.nz()};
+
+  // Reverse order of the halo fill: fold z, then y, then x, shrinking the
+  // transverse range as we go so every ghost contribution lands exactly once.
+  for (int axis = 2; axis >= 0; --axis) {
+    Range r[3];
+    for (int t = 0; t < 3; ++t)
+      r[t] = t < axis ? Range{-g, n[t] + g} : Range{0, n[t]};
+    int ta = -1, tb = -1;
+    for (int t = 0; t < 3; ++t) {
+      if (t == axis) continue;
+      (ta < 0 ? ta : tb) = t;
+    }
+    auto at = [&](int a, int b, int c) -> double& {
+      int idx[3];
+      idx[axis] = a;
+      int tpos = 0;
+      for (int t = 0; t < 3; ++t) {
+        if (t == axis) continue;
+        idx[t] = tpos == 0 ? b : c;
+        ++tpos;
+      }
+      return grid.at(idx[0], idx[1], idx[2]);
+    };
+    const auto nbr = cart.neighbors(axis);
+    auto pack = [&](int lo, int count) {
+      std::vector<double> buf;
+      buf.reserve(static_cast<std::size_t>(count) * r[ta].count() *
+                  r[tb].count());
+      for (int a = lo; a < lo + count; ++a)
+        for (int b = r[ta].lo; b < r[ta].hi; ++b)
+          for (int c = r[tb].lo; c < r[tb].hi; ++c) {
+            buf.push_back(at(a, b, c));
+            at(a, b, c) = 0.0;
+          }
+      return buf;
+    };
+    auto add = [&](int lo, int count, const std::vector<double>& buf) {
+      std::size_t o = 0;
+      for (int a = lo; a < lo + count; ++a)
+        for (int b = r[ta].lo; b < r[ta].hi; ++b)
+          for (int c = r[tb].lo; c < r[tb].hi; ++c) at(a, b, c) += buf[o++];
+    };
+    const int tag_fwd = kFoldTagBase + axis * 4;
+    const int tag_bwd = kFoldTagBase + axis * 4 + 1;
+    // Our high ghosts belong to the forward neighbor's low interior.
+    auto send_hi = pack(n[axis], g);
+    comm.send(nbr[1], tag_fwd, send_hi.data(), send_hi.size());
+    auto send_lo = pack(-g, g);
+    comm.send(nbr[0], tag_bwd, send_lo.data(), send_lo.size());
+    std::vector<double> recv_lo(send_hi.size());
+    comm.recv(nbr[0], tag_fwd, recv_lo.data(), recv_lo.size());
+    add(0, g, recv_lo);
+    std::vector<double> recv_hi(send_lo.size());
+    comm.recv(nbr[1], tag_bwd, recv_hi.data(), recv_hi.size());
+    add(n[axis] - g, g, recv_hi);
+  }
+}
+
+}  // namespace v6d::mesh

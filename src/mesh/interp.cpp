@@ -1,0 +1,21 @@
+#include "mesh/interp.hpp"
+
+#include <cassert>
+
+namespace v6d::mesh {
+
+void gather_forces(const Grid3D<double>& fx, const Grid3D<double>& fy,
+                   const Grid3D<double>& fz, const MeshPatch& patch,
+                   std::span<const double> x, std::span<const double> y,
+                   std::span<const double> z, std::span<double> ax,
+                   std::span<double> ay, std::span<double> az,
+                   Assignment assignment) {
+  assert(x.size() == ax.size());
+  for (std::size_t p = 0; p < x.size(); ++p) {
+    ax[p] = interpolate(fx, patch, x[p], y[p], z[p], assignment);
+    ay[p] = interpolate(fy, patch, x[p], y[p], z[p], assignment);
+    az[p] = interpolate(fz, patch, x[p], y[p], z[p], assignment);
+  }
+}
+
+}  // namespace v6d::mesh

@@ -1,0 +1,19 @@
+// Higher-level gather helpers: interpolate force fields to many particle
+// positions at once (the PM "gather" phase).
+#pragma once
+
+#include <span>
+
+#include "mesh/deposit.hpp"
+
+namespace v6d::mesh {
+
+/// Gather the three force components at every particle position.
+void gather_forces(const Grid3D<double>& fx, const Grid3D<double>& fy,
+                   const Grid3D<double>& fz, const MeshPatch& patch,
+                   std::span<const double> x, std::span<const double> y,
+                   std::span<const double> z, std::span<double> ax,
+                   std::span<double> ay, std::span<double> az,
+                   Assignment assignment);
+
+}  // namespace v6d::mesh

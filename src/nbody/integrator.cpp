@@ -1,0 +1,40 @@
+#include "nbody/integrator.hpp"
+
+#include <cassert>
+
+namespace v6d::nbody {
+
+void kick(Particles& particles, const std::vector<double>& ax,
+          const std::vector<double>& ay, const std::vector<double>& az,
+          double dt_kick) {
+  const std::size_t n = particles.size();
+  assert(ax.size() == n && ay.size() == n && az.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    particles.ux[i] += ax[i] * dt_kick;
+    particles.uy[i] += ay[i] * dt_kick;
+    particles.uz[i] += az[i] * dt_kick;
+  }
+}
+
+void drift(Particles& particles, double drift_factor, double box) {
+  const std::size_t n = particles.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    particles.x[i] += particles.ux[i] * drift_factor;
+    particles.y[i] += particles.uy[i] * drift_factor;
+    particles.z[i] += particles.uz[i] * drift_factor;
+  }
+  particles.wrap_positions(box);
+}
+
+double kinetic_energy(const Particles& particles) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    const double u2 = particles.ux[i] * particles.ux[i] +
+                      particles.uy[i] * particles.uy[i] +
+                      particles.uz[i] * particles.uz[i];
+    acc += u2;
+  }
+  return 0.5 * particles.mass * acc;
+}
+
+}  // namespace v6d::nbody

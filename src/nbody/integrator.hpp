@@ -1,0 +1,27 @@
+// Kick-drift-kick leapfrog pieces for comoving coordinates.
+//
+// Canonical velocity u = a^2 dx/dt gives the clean pair
+//   dx/dt = u / a^2   ->  x += u * Integral(dt / a^2)   (drift factor)
+//   du/dt = -grad(phi) ->  u += g * Integral(dt)        (kick factor)
+// with the integrals supplied by cosmo::Background.  The same factors feed
+// the Vlasov sweeps, keeping both components on one clock (paper §5.1.2).
+#pragma once
+
+#include <vector>
+
+#include "nbody/particles.hpp"
+
+namespace v6d::nbody {
+
+/// u += g * dt_kick (element-wise over particles).
+void kick(Particles& particles, const std::vector<double>& ax,
+          const std::vector<double>& ay, const std::vector<double>& az,
+          double dt_kick);
+
+/// x += u * drift_factor, then wrap into the periodic box.
+void drift(Particles& particles, double drift_factor, double box);
+
+/// Kinetic energy sum(m u^2 / 2) in canonical units (diagnostics).
+double kinetic_energy(const Particles& particles);
+
+}  // namespace v6d::nbody

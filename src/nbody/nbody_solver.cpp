@@ -1,0 +1,94 @@
+#include "nbody/nbody_solver.hpp"
+
+namespace v6d::nbody {
+
+NBodySolver::NBodySolver(double box, const cosmo::Background& background,
+                         const NBodySolverOptions& options)
+    : box_(box), background_(background), options_(options) {
+  treepm_ = std::make_unique<gravity::TreePmSolver>(box, options.treepm);
+}
+
+void NBodySolver::compute_forces(double a) {
+  const double prefactor = poisson_prefactor(a);
+  auto& pm = treepm_->pm();
+
+  // --- mesh (PM long-range) from *all* species ---
+  {
+    Stopwatch watch;
+    pm.set_prefactor(prefactor);
+    pm.clear_density();
+    pm.deposit_particles(cdm_);
+    if (hot_) pm.deposit_particles(*hot_);
+    pm.solve_forces();
+    ax_.assign(cdm_.size(), 0.0);
+    ay_.assign(cdm_.size(), 0.0);
+    az_.assign(cdm_.size(), 0.0);
+    pm.gather(cdm_, ax_, ay_, az_);
+    if (hot_) {
+      hax_.assign(hot_->size(), 0.0);
+      hay_.assign(hot_->size(), 0.0);
+      haz_.assign(hot_->size(), 0.0);
+      pm.gather(*hot_, hax_, hay_, haz_);
+    }
+    timers_.add("pm", watch.seconds());
+  }
+
+  // --- tree (short-range) sourced by CDM ---
+  {
+    Stopwatch watch;
+    const double g_pair = prefactor / (4.0 * M_PI);
+    gravity::BarnesHutTree tree(cdm_, box_, options_.treepm.leaf_size);
+    gravity::PpKernelParams params;
+    params.eps = treepm_->eps();
+    params.rs = treepm_->rs();
+    params.rcut = treepm_->rcut();
+    gravity::CutoffPoly poly(options_.treepm.rcut_over_rs / 2.0,
+                             options_.treepm.cutoff_poly_degree);
+
+    std::vector<double> tx(cdm_.size(), 0.0), ty(cdm_.size(), 0.0),
+        tz(cdm_.size(), 0.0);
+    tree.accelerations(cdm_, params, poly, options_.treepm.theta,
+                       options_.treepm.use_simd, tx, ty, tz);
+    for (std::size_t i = 0; i < cdm_.size(); ++i) {
+      ax_[i] += g_pair * tx[i];
+      ay_[i] += g_pair * ty[i];
+      az_[i] += g_pair * tz[i];
+    }
+    if (hot_ && options_.hot_species_feels_tree) {
+      std::vector<double> hx(hot_->size(), 0.0), hy(hot_->size(), 0.0),
+          hz(hot_->size(), 0.0);
+      tree.accumulate(hot_->x.data(), hot_->y.data(), hot_->z.data(),
+                      hot_->size(), params, poly, options_.treepm.theta,
+                      options_.treepm.use_simd, hx.data(), hy.data(),
+                      hz.data());
+      for (std::size_t i = 0; i < hot_->size(); ++i) {
+        hax_[i] += g_pair * hx[i];
+        hay_[i] += g_pair * hy[i];
+        haz_[i] += g_pair * hz[i];
+      }
+    }
+    timers_.add("tree", watch.seconds());
+  }
+  forces_fresh_ = true;
+}
+
+void NBodySolver::step(double a0, double a1) {
+  const double a_mid = 0.5 * (a0 + a1);
+  if (!forces_fresh_) compute_forces(a0);
+
+  const double kick_pre = background_.kick_factor(a0, a_mid);
+  kick(cdm_, ax_, ay_, az_, kick_pre);
+  if (hot_) kick(*hot_, hax_, hay_, haz_, kick_pre);
+
+  const double drift_f = background_.drift_factor(a0, a1);
+  drift(cdm_, drift_f, box_);
+  if (hot_) drift(*hot_, drift_f, box_);
+
+  compute_forces(a1);
+
+  const double kick_post = background_.kick_factor(a_mid, a1);
+  kick(cdm_, ax_, ay_, az_, kick_post);
+  if (hot_) kick(*hot_, hax_, hay_, haz_, kick_post);
+}
+
+}  // namespace v6d::nbody

@@ -1,0 +1,60 @@
+// Cosmological N-body solver (TreePM), optionally with a second "hot"
+// particle species — the TianNu-style baseline configuration the paper
+// compares against in §5.4 and §7.2: CDM particles plus Fermi-Dirac-
+// sampled neutrino particles.
+//
+// Force assignment mirrors the hybrid code: CDM gets PM long-range + tree
+// short-range; the hot species sources and feels the mesh force (its
+// short-range self-interaction is negligible by free streaming) and also
+// feels the CDM tree force at its positions.
+#pragma once
+
+#include <optional>
+
+#include "common/timer.hpp"
+#include "cosmology/background.hpp"
+#include "gravity/treepm.hpp"
+#include "nbody/integrator.hpp"
+
+namespace v6d::nbody {
+
+struct NBodySolverOptions {
+  gravity::TreePmOptions treepm;
+  bool hot_species_feels_tree = true;
+};
+
+class NBodySolver {
+ public:
+  NBodySolver(double box, const cosmo::Background& background,
+              const NBodySolverOptions& options);
+
+  Particles& cdm() { return cdm_; }
+  std::optional<Particles>& hot() { return hot_; }
+  void set_cdm(Particles p) { cdm_ = std::move(p); }
+  void set_hot(Particles p) { hot_ = std::move(p); }
+
+  /// One KDK step from scale factor a0 to a1.
+  void step(double a0, double a1);
+
+  /// Poisson prefactor at scale factor a (code units; see params.hpp).
+  static double poisson_prefactor(double a) { return 1.5 / a; }
+
+  TimerRegistry& timers() { return timers_; }
+  gravity::TreePmSolver& treepm() { return *treepm_; }
+
+ private:
+  void compute_forces(double a);
+
+  double box_;
+  cosmo::Background background_;
+  NBodySolverOptions options_;
+  std::unique_ptr<gravity::TreePmSolver> treepm_;
+  Particles cdm_;
+  std::optional<Particles> hot_;
+  std::vector<double> ax_, ay_, az_;        // CDM accelerations
+  std::vector<double> hax_, hay_, haz_;     // hot-species accelerations
+  bool forces_fresh_ = false;
+  TimerRegistry timers_;
+};
+
+}  // namespace v6d::nbody

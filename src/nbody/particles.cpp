@@ -1,0 +1,25 @@
+#include "nbody/particles.hpp"
+
+#include <cmath>
+
+namespace v6d::nbody {
+
+void Particles::wrap_positions(double box) {
+  for (std::size_t i = 0; i < size(); ++i) {
+    x[i] -= box * std::floor(x[i] / box);
+    y[i] -= box * std::floor(y[i] / box);
+    z[i] -= box * std::floor(z[i] / box);
+  }
+}
+
+void Particles::append(const Particles& other) {
+  x.insert(x.end(), other.x.begin(), other.x.end());
+  y.insert(y.end(), other.y.begin(), other.y.end());
+  z.insert(z.end(), other.z.begin(), other.z.end());
+  ux.insert(ux.end(), other.ux.begin(), other.ux.end());
+  uy.insert(uy.end(), other.uy.begin(), other.uy.end());
+  uz.insert(uz.end(), other.uz.begin(), other.uz.end());
+  id.insert(id.end(), other.id.begin(), other.id.end());
+}
+
+}  // namespace v6d::nbody

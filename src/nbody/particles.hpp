@@ -1,0 +1,44 @@
+// Particle container for the N-body (CDM) component.
+//
+// Structure-of-arrays in double precision — the paper stores N-body
+// positions and velocities as doubles while the Vlasov distribution is
+// single precision (mixed precision, §5.1.2).  Velocities are the canonical
+// momentum u = a^2 dx/dt used throughout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace v6d::nbody {
+
+class Particles {
+ public:
+  Particles() = default;
+  explicit Particles(std::size_t n) { resize(n); }
+
+  void resize(std::size_t n) {
+    x.resize(n);
+    y.resize(n);
+    z.resize(n);
+    ux.resize(n);
+    uy.resize(n);
+    uz.resize(n);
+    id.resize(n);
+  }
+  std::size_t size() const { return x.size(); }
+
+  /// Wrap all positions into [0, box).
+  void wrap_positions(double box);
+
+  /// Append all particles of `other`.
+  void append(const Particles& other);
+
+  std::vector<double> x, y, z;     // comoving positions
+  std::vector<double> ux, uy, uz;  // canonical velocities u = a^2 dx/dt
+  std::vector<std::uint64_t> id;
+  double mass = 1.0;  // equal-mass particles
+};
+
+}  // namespace v6d::nbody

@@ -1,0 +1,29 @@
+#include "simd/dispatch.hpp"
+
+#include "simd/pack.hpp"
+
+namespace v6d::simd {
+
+IsaInfo isa_info() {
+  IsaInfo info;
+  info.float_width = kNativeFloatWidth;
+#if defined(__AVX512F__)
+  info.name = "AVX-512F";
+#elif defined(__AVX2__)
+  info.name = "AVX2";
+#elif defined(__AVX__)
+  info.name = "AVX";
+#elif defined(__SSE2__)
+  info.name = "SSE2";
+#else
+  info.name = "generic";
+#endif
+#if defined(__FMA__)
+  info.has_fma = true;
+#else
+  info.has_fma = false;
+#endif
+  return info;
+}
+
+}  // namespace v6d::simd

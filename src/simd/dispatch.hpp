@@ -1,0 +1,16 @@
+// Runtime description of the SIMD capabilities this binary was built with.
+#pragma once
+
+#include <string>
+
+namespace v6d::simd {
+
+struct IsaInfo {
+  std::string name;       // e.g. "AVX2", "AVX-512F", "generic"
+  int float_width;        // fp32 lanes per register the kernels use
+  bool has_fma;
+};
+
+IsaInfo isa_info();
+
+}  // namespace v6d::simd

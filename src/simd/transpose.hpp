@@ -1,0 +1,90 @@
+// In-register N x N transpose — the primitive behind the paper's LAT
+// ("load and transpose") method (§5.3, Fig. 3).
+//
+// The transpose is decomposed into log2(N) bit-exchange stages.  Stage `s`
+// swaps bit `s` of the row index with bit `s` of the column index; composing
+// all stages swaps the full indices, i.e. transposes the matrix.  Each stage
+// touches register pairs (r, r ^ 2^s) with two shuffles, so the whole
+// transpose costs N * log2(N) shuffles: 8 for 4x4, 24 for 8x8 and 64 for
+// 16x16 — the paper quotes exactly 64 instructions for its 16x16 SVE
+// transpose.  Shuffles stay in registers; no memory traffic is generated,
+// which is the whole point of LAT.
+#pragma once
+
+#include <utility>
+
+#include "simd/pack.hpp"
+
+namespace v6d::simd {
+
+namespace detail {
+
+// Stage patterns (derived from the bit-swap rule; see header comment):
+//  low output register (row bit s = 0):
+//    idx[j] = (j has bit s) ? N + (j ^ 2^s) : j
+//  high output register (row bit s = 1):
+//    idx[j] = (j has bit s) ? N + j : j | 2^s
+template <class T, int N, int Bit, std::size_t... Js>
+inline typename Pack<T, N>::Native stage_lo(typename Pack<T, N>::Native a,
+                                            typename Pack<T, N>::Native b,
+                                            std::index_sequence<Js...>) {
+  return __builtin_shufflevector(
+      a, b, ((Js & Bit) ? int(N + (Js ^ Bit)) : int(Js))...);
+}
+
+template <class T, int N, int Bit, std::size_t... Js>
+inline typename Pack<T, N>::Native stage_hi(typename Pack<T, N>::Native a,
+                                            typename Pack<T, N>::Native b,
+                                            std::index_sequence<Js...>) {
+  return __builtin_shufflevector(
+      a, b, ((Js & Bit) ? int(N + Js) : int(Js | Bit))...);
+}
+
+template <class T, int N, int Bit>
+inline void transpose_stage(Pack<T, N>* rows) {
+  for (int base = 0; base < N; ++base) {
+    if (base & Bit) continue;
+    const int partner = base | Bit;
+    auto a = rows[base].v;
+    auto b = rows[partner].v;
+    rows[base].v =
+        stage_lo<T, N, Bit>(a, b, std::make_index_sequence<N>{});
+    rows[partner].v =
+        stage_hi<T, N, Bit>(a, b, std::make_index_sequence<N>{});
+  }
+}
+
+template <class T, int N, int... Bits>
+inline void transpose_all(Pack<T, N>* rows, std::integer_sequence<int, Bits...>) {
+  (transpose_stage<T, N, (1 << Bits)>(rows), ...);
+}
+
+constexpr int log2_of(int n) {
+  int l = 0;
+  while ((1 << l) < n) ++l;
+  return l;
+}
+
+}  // namespace detail
+
+/// Transpose N packs of width N in place (rows[i][j] <-> rows[j][i]).
+template <class T, int N>
+inline void transpose(Pack<T, N>* rows) {
+  detail::transpose_all<T, N>(
+      rows, std::make_integer_sequence<int, detail::log2_of(N)>{});
+}
+
+/// Load an N x N tile from `src` (row stride `stride` elements), transpose it
+/// in registers, and store to `dst` (row stride `dst_stride`).  This is one
+/// LAT tile move: gathering N strided lines costs only N contiguous vector
+/// loads plus N*log2(N) shuffles instead of N*N scalar loads.
+template <class T, int N>
+inline void transpose_tile(const T* src, long stride, T* dst,
+                           long dst_stride) {
+  Pack<T, N> rows[N];
+  for (int i = 0; i < N; ++i) rows[i] = Pack<T, N>::load(src + i * stride);
+  transpose(rows);
+  for (int i = 0; i < N; ++i) rows[i].store(dst + i * dst_stride);
+}
+
+}  // namespace v6d::simd

@@ -1,0 +1,92 @@
+// Line-sweep kernels for the six split advection directions (§5.3).
+//
+// Every sweep in the 6-D solver reduces to: advance a batch of 1-D lines by
+// a common shift xi.  Three implementations are provided:
+//
+//  * scalar  — one line at a time; the correctness reference.
+//  * simd    — L lines whose *lanes* are adjacent in memory (the paper's
+//              Fig. 1 case: vectorize across the contiguous uz index while
+//              sweeping any other axis).  Every stencil access is one
+//              contiguous vector load.
+//  * lat     — the sweep axis itself is the contiguous one (the paper's
+//              Fig. 2 problem).  L whole lines are staged through an
+//              in-register transpose ("load and transpose", Fig. 3) so the
+//              inner loop still performs contiguous vector loads.
+//
+// All three materialize the line batch into a ghost-padded workspace, run
+// the shared SL-MPP5 flux kernel, and write back — ghost values come either
+// from the source array (position sweeps, where halo exchange has filled
+// spatial ghosts) or are zero (velocity sweeps, where f has compact support
+// inside the velocity cube).
+#pragma once
+
+#include <cstddef>
+
+#include "common/aligned.hpp"
+#include "simd/pack.hpp"
+#include "vlasov/sl_mpp5.hpp"
+
+namespace v6d::vlasov {
+
+/// Lanes processed per SIMD/LAT call.  Capped at 8 so that production
+/// velocity grids (>= 8 cells per axis) always form full lane groups; the
+/// paper's SVE kernels use 16 lanes against 64-cell velocity grids, the
+/// same groups-per-line ratio.
+inline constexpr int kLanes =
+    simd::kNativeFloatWidth < 8 ? simd::kNativeFloatWidth : 8;
+
+enum class GhostMode {
+  kFromSource,  // ghost cells exist in the source array at the same stride
+  kZero,        // out-of-range cells are zero (velocity-space boundary)
+};
+
+/// Reusable scratch for the sweep kernels; ensure() grows buffers as needed.
+struct AdvectWorkspace {
+  AlignedVector<float> in;    // (n + 2*ghost) * lanes
+  AlignedVector<float> out;   // n * lanes
+  AlignedVector<float> flux;  // (n + 1) * lanes
+
+  void ensure(int n, int ghost, int lanes);
+};
+
+/// Scalar reference: one strided line. src/dst address cell 0; cells are
+/// `stride` floats apart. src and dst may alias.
+void advect_line_strided_scalar(const float* src, std::ptrdiff_t stride,
+                                float* dst, std::ptrdiff_t dst_stride, int n,
+                                double xi, Limiter limiter, GhostMode ghosts,
+                                AdvectWorkspace& ws);
+
+/// SIMD: kLanes lines whose lane index is memory-contiguous. src addresses
+/// (cell 0, lane 0); cells are `cell_stride` floats apart; lane l of cell i
+/// lives at src + i*cell_stride + l. src and dst may alias.
+void advect_lines_simd(const float* src, std::ptrdiff_t cell_stride,
+                       float* dst, std::ptrdiff_t dst_cell_stride, int n,
+                       double xi, Limiter limiter, GhostMode ghosts,
+                       AdvectWorkspace& ws);
+
+/// Like advect_lines_simd but with a distinct shift per lane (the spatial z
+/// sweep: lanes run over uz whose velocity varies).  Vectorizes when all
+/// lanes share floor(xi); otherwise falls back to per-lane scalar sweeps.
+void advect_lines_simd_multi(const float* src, std::ptrdiff_t cell_stride,
+                             float* dst, std::ptrdiff_t dst_cell_stride,
+                             int n, const double* xi_per_lane,
+                             Limiter limiter, GhostMode ghosts,
+                             AdvectWorkspace& ws);
+
+/// LAT: kLanes lines along the contiguous axis. Line l starts at
+/// src + l*line_stride; cells within a line are adjacent floats.
+/// src and dst may alias.
+void advect_lines_lat(const float* src, std::ptrdiff_t line_stride,
+                      float* dst, std::ptrdiff_t dst_line_stride, int n,
+                      double xi, Limiter limiter, GhostMode ghosts,
+                      AdvectWorkspace& ws);
+
+/// "Naive SIMD" variant of the LAT case used by the Table-1 bench: lanes are
+/// gathered element-by-element from strided lines (the slow data layout of
+/// the paper's Fig. 2) instead of transposed in registers.
+void advect_lines_lat_gather(const float* src, std::ptrdiff_t line_stride,
+                             float* dst, std::ptrdiff_t dst_line_stride,
+                             int n, double xi, Limiter limiter,
+                             GhostMode ghosts, AdvectWorkspace& ws);
+
+}  // namespace v6d::vlasov

@@ -1,0 +1,162 @@
+// Shared width-templated SL-MPP5 flux kernel (included by the advect_*.cpp
+// translation units only).  Mirrors advect_line_scalar in sl_mpp5.cpp; any
+// change here must be reflected there — the test suite pins scalar/SIMD/LAT
+// equivalence to catch divergence.
+//
+// The kernel is parameterized by per-lane weights: most sweeps broadcast a
+// single shift xi to all lanes, but the spatial z sweep vectorizes across
+// the contiguous uz index whose velocity (hence xi) differs per lane.  The
+// integer part of the shift must be lane-uniform (callers split lane groups
+// at the velocity sign boundary); the fractional weights may vary freely.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+#include "simd/pack.hpp"
+#include "vlasov/sl_mpp5.hpp"
+
+namespace v6d::vlasov::detail {
+
+template <int L>
+inline simd::Pack<float, L> mp_limit_vec(simd::Pack<float, L> g,
+                                         simd::Pack<float, L> fm2,
+                                         simd::Pack<float, L> fm1,
+                                         simd::Pack<float, L> f0,
+                                         simd::Pack<float, L> fp1,
+                                         simd::Pack<float, L> fp2,
+                                         simd::Pack<float, L> alpha) {
+  using P = simd::Pack<float, L>;
+  const P half = P::broadcast(0.5f);
+  const P third = P::broadcast(1.0f / 3.0f);
+  const P one = P::broadcast(1.0f);
+  const P eps = P::broadcast(1e-20f);
+
+  const P f_mp = f0 + simd::minmod(fp1 - f0, alpha * (f0 - fm1));
+  const auto accept = ((g - f0) * (g - f_mp)) <= eps;
+
+  const P two = P::broadcast(2.0f);
+  const P dm1 = fm2 - two * fm1 + f0;
+  const P d0 = fm1 - two * f0 + fp1;
+  const P dp1 = f0 - two * fp1 + fp2;
+  const P four = P::broadcast(4.0f);
+  const P d_half_p = simd::minmod4(four * d0 - dp1, four * dp1 - d0, d0, dp1);
+  const P d_half_m = simd::minmod4(four * dm1 - d0, four * d0 - dm1, dm1, d0);
+
+  const P f_ul = f0 + alpha * (f0 - fm1);
+  const P f_av = half * (f0 + fp1);
+  const P f_md = f_av - half * d_half_p;
+  const P f_lc = f0 + half * simd::min(one, alpha) * (f0 - fm1) +
+                 alpha * third * d_half_m;
+
+  const P f_min =
+      simd::max(simd::min(simd::min(f0, fp1), f_md),
+                simd::min(simd::min(f0, f_ul), f_lc));
+  const P f_max =
+      simd::min(simd::max(simd::max(f0, fp1), f_md),
+                simd::max(simd::max(f0, f_ul), f_lc));
+  const P limited = simd::median(g, f_min, f_max);
+  return simd::select<float, L>(accept, g, limited);
+}
+
+/// Per-lane flux configuration for the vector kernel.
+template <int L>
+struct VecShift {
+  using P = simd::Pack<float, L>;
+  P w0, w1, w2, w3, w4;  // fractional flux weights per lane
+  P theta, inv_theta;    // fractional shift per lane (inv 0 when theta ~ 0)
+  P alpha;               // per-lane adaptive Suresh-Huynh alpha
+  int s = 0;             // lane-uniform integer shift
+  bool limit = false;    // apply the MP limiter (any lane has theta > 0)
+  bool pure_shift = false;  // every lane is an exact whole-cell translation
+  int max_ghost = 0;     // ghost cells this configuration requires
+
+  /// Uniform xi across lanes.
+  static VecShift uniform(double xi, Limiter limiter) {
+    double lanes[L];
+    for (int l = 0; l < L; ++l) lanes[l] = xi;
+    return per_lane(lanes, limiter);
+  }
+
+  /// Per-lane xi; all floor(xi) must agree (callers guarantee).
+  static VecShift per_lane(const double* xi, Limiter limiter) {
+    VecShift vs;
+    vs.s = static_cast<int>(std::floor(xi[0]));
+    vs.limit = false;
+    vs.pure_shift = true;
+    for (int l = 0; l < L; ++l)
+      if (xi[l] - std::floor(xi[l]) != 0.0) vs.pure_shift = false;
+    for (int l = 0; l < L; ++l) {
+      assert(static_cast<int>(std::floor(xi[l])) == vs.s);
+      const double theta = xi[l] - vs.s;
+      const FluxWeights fw = FluxWeights::compute(theta);
+      vs.w0.set(l, static_cast<float>(fw.w[0]));
+      vs.w1.set(l, static_cast<float>(fw.w[1]));
+      vs.w2.set(l, static_cast<float>(fw.w[2]));
+      vs.w3.set(l, static_cast<float>(fw.w[3]));
+      vs.w4.set(l, static_cast<float>(fw.w[4]));
+      vs.theta.set(l, static_cast<float>(theta));
+      vs.inv_theta.set(
+          l, theta > 1e-12 ? static_cast<float>(1.0 / theta) : 0.0f);
+      vs.alpha.set(l, mp_alpha_for(theta));
+      if (limiter != Limiter::kNone && theta > 1e-12) vs.limit = true;
+      vs.max_ghost = std::max(vs.max_ghost, required_ghost(xi[l]));
+    }
+    if (limiter == Limiter::kNone) vs.limit = false;
+    return vs;
+  }
+};
+
+// in: (cell -ghost, lane 0); cells are `cs` floats apart, lanes contiguous.
+// out: (cell 0, lane 0); cells `os` floats apart.  flux: (n+1)*L scratch.
+// in and out must not alias (callers stage through workspace buffers).
+template <int L>
+void sl_mpp5_kernel_vec(const float* in, std::ptrdiff_t cs, float* out,
+                        std::ptrdiff_t os, int n, int ghost,
+                        const VecShift<L>& vs, Limiter limiter, float* flux) {
+  using P = simd::Pack<float, L>;
+  assert(ghost >= vs.max_ghost);
+  const P zero = P::zero();
+  const int s = vs.s;
+
+  const float* c0 = in + static_cast<std::ptrdiff_t>(ghost) * cs;
+  if (vs.pure_shift) {
+    for (int i = 0; i < n; ++i)
+      P::load(c0 + static_cast<std::ptrdiff_t>(i - s) * cs)
+          .store(out + static_cast<std::ptrdiff_t>(i) * os);
+    return;
+  }
+  for (int i = -1; i < n; ++i) {
+    const int j = i - s;
+    const P fm2 = P::load(c0 + static_cast<std::ptrdiff_t>(j - 2) * cs);
+    const P fm1 = P::load(c0 + static_cast<std::ptrdiff_t>(j - 1) * cs);
+    const P f0 = P::load(c0 + static_cast<std::ptrdiff_t>(j) * cs);
+    const P fp1 = P::load(c0 + static_cast<std::ptrdiff_t>(j + 1) * cs);
+    const P fp2 = P::load(c0 + static_cast<std::ptrdiff_t>(j + 2) * cs);
+    P F = simd::fma(vs.w4, fp2,
+                    simd::fma(vs.w3, fp1,
+                              simd::fma(vs.w2, f0,
+                                        simd::fma(vs.w1, fm1, vs.w0 * fm2))));
+    if (vs.limit) {
+      const P g = F * vs.inv_theta;
+      const P g_lim = mp_limit_vec<L>(g, fm2, fm1, f0, fp1, fp2, vs.alpha);
+      // Lanes with theta ~ 0 keep their (zero) raw flux.
+      const auto active = vs.theta > P::broadcast(1e-12f);
+      F = simd::select<float, L>(active, vs.theta * g_lim, F);
+    }
+    if (limiter == Limiter::kMpp) {
+      F = simd::max(zero, simd::min(F, f0));
+    }
+    F.store(flux + static_cast<std::ptrdiff_t>(i + 1) * L);
+  }
+  for (int i = 0; i < n; ++i) {
+    const P v = P::load(c0 + static_cast<std::ptrdiff_t>(i - s) * cs) -
+                P::load(flux + static_cast<std::ptrdiff_t>(i + 1) * L) +
+                P::load(flux + static_cast<std::ptrdiff_t>(i) * L);
+    v.store(out + static_cast<std::ptrdiff_t>(i) * os);
+  }
+}
+
+}  // namespace v6d::vlasov::detail

@@ -1,0 +1,95 @@
+#include "vlasov/moments.hpp"
+
+#include <cmath>
+
+namespace v6d::vlasov {
+
+void compute_density(const PhaseSpace& f, mesh::Grid3D<double>& rho) {
+  const auto& d = f.dims();
+  const double du3 = f.geom().du3();
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int ix = 0; ix < d.nx; ++ix)
+    for (int iy = 0; iy < d.ny; ++iy)
+      for (int iz = 0; iz < d.nz; ++iz) {
+        const float* b = f.block(ix, iy, iz);
+        double acc = 0.0;
+        const std::size_t n = f.block_size();
+        for (std::size_t v = 0; v < n; ++v) acc += b[v];
+        rho.at(ix, iy, iz) = acc * du3;
+      }
+}
+
+double MomentFields::sigma(int i, int j, int k) const {
+  const double tr = sigma_xx.at(i, j, k) + sigma_yy.at(i, j, k) +
+                    sigma_zz.at(i, j, k);
+  return std::sqrt(std::max(0.0, tr / 3.0));
+}
+
+double MomentFields::speed(int i, int j, int k) const {
+  const double x = mean_ux.at(i, j, k), y = mean_uy.at(i, j, k),
+               z = mean_uz.at(i, j, k);
+  return std::sqrt(x * x + y * y + z * z);
+}
+
+void compute_moments(const PhaseSpace& f, MomentFields& m) {
+  const auto& d = f.dims();
+  const auto& g = f.geom();
+  const double du3 = g.du3();
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int ix = 0; ix < d.nx; ++ix)
+    for (int iy = 0; iy < d.ny; ++iy)
+      for (int iz = 0; iz < d.nz; ++iz) {
+        const float* b = f.block(ix, iy, iz);
+        double s0 = 0.0;
+        double sx = 0.0, sy = 0.0, sz = 0.0;
+        double sxx = 0.0, syy = 0.0, szz = 0.0;
+        double sxy = 0.0, sxz = 0.0, syz = 0.0;
+        std::size_t v = 0;
+        for (int a = 0; a < d.nux; ++a) {
+          const double ux = g.ux(a);
+          for (int bb = 0; bb < d.nuy; ++bb) {
+            const double uy = g.uy(bb);
+            for (int c = 0; c < d.nuz; ++c, ++v) {
+              const double w = b[v];
+              const double uz = g.uz(c);
+              s0 += w;
+              sx += w * ux;
+              sy += w * uy;
+              sz += w * uz;
+              sxx += w * ux * ux;
+              syy += w * uy * uy;
+              szz += w * uz * uz;
+              sxy += w * ux * uy;
+              sxz += w * ux * uz;
+              syz += w * uy * uz;
+            }
+          }
+        }
+        const double rho = s0 * du3;
+        m.density.at(ix, iy, iz) = rho;
+        if (s0 > 0.0) {
+          const double mx = sx / s0, my = sy / s0, mz = sz / s0;
+          m.mean_ux.at(ix, iy, iz) = mx;
+          m.mean_uy.at(ix, iy, iz) = my;
+          m.mean_uz.at(ix, iy, iz) = mz;
+          m.sigma_xx.at(ix, iy, iz) = sxx / s0 - mx * mx;
+          m.sigma_yy.at(ix, iy, iz) = syy / s0 - my * my;
+          m.sigma_zz.at(ix, iy, iz) = szz / s0 - mz * mz;
+          m.sigma_xy.at(ix, iy, iz) = sxy / s0 - mx * my;
+          m.sigma_xz.at(ix, iy, iz) = sxz / s0 - mx * mz;
+          m.sigma_yz.at(ix, iy, iz) = syz / s0 - my * mz;
+        } else {
+          m.mean_ux.at(ix, iy, iz) = 0.0;
+          m.mean_uy.at(ix, iy, iz) = 0.0;
+          m.mean_uz.at(ix, iy, iz) = 0.0;
+          m.sigma_xx.at(ix, iy, iz) = 0.0;
+          m.sigma_yy.at(ix, iy, iz) = 0.0;
+          m.sigma_zz.at(ix, iy, iz) = 0.0;
+          m.sigma_xy.at(ix, iy, iz) = 0.0;
+          m.sigma_xz.at(ix, iy, iz) = 0.0;
+          m.sigma_yz.at(ix, iy, iz) = 0.0;
+        }
+      }
+}
+
+}  // namespace v6d::vlasov

@@ -1,0 +1,39 @@
+// Velocity moments of the distribution function.
+//
+// Because velocity space is never decomposed (paper §5.1.3), every moment
+// is a purely local reduction over each spatial cell's velocity block — no
+// communication.  Accumulation is in double even though f is float.
+#pragma once
+
+#include "mesh/grid.hpp"
+#include "vlasov/phase_space.hpp"
+
+namespace v6d::vlasov {
+
+/// rho(x) = sum_u f du^3 into the interior of `rho` (sized like f's
+/// spatial grid, any ghost width).
+void compute_density(const PhaseSpace& f, mesh::Grid3D<double>& rho);
+
+struct MomentFields {
+  mesh::Grid3D<double> density;
+  mesh::Grid3D<double> mean_ux, mean_uy, mean_uz;
+  // Velocity dispersion tensor components sigma_ij^2 = <u_i u_j> - <u_i><u_j>.
+  mesh::Grid3D<double> sigma_xx, sigma_yy, sigma_zz;
+  mesh::Grid3D<double> sigma_xy, sigma_xz, sigma_yz;
+
+  explicit MomentFields(int nx, int ny, int nz)
+      : density(nx, ny, nz), mean_ux(nx, ny, nz), mean_uy(nx, ny, nz),
+        mean_uz(nx, ny, nz), sigma_xx(nx, ny, nz), sigma_yy(nx, ny, nz),
+        sigma_zz(nx, ny, nz), sigma_xy(nx, ny, nz), sigma_xz(nx, ny, nz),
+        sigma_yz(nx, ny, nz) {}
+
+  /// Scalar dispersion sigma = sqrt(trace / 3) at a cell.
+  double sigma(int i, int j, int k) const;
+  /// |mean velocity| at a cell.
+  double speed(int i, int j, int k) const;
+};
+
+/// Full moment set (density, mean velocity, dispersion tensor).
+void compute_moments(const PhaseSpace& f, MomentFields& m);
+
+}  // namespace v6d::vlasov

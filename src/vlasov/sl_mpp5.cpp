@@ -1,0 +1,211 @@
+#include "vlasov/sl_mpp5.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace v6d::vlasov {
+
+namespace {
+
+inline float minmod(float a, float b) {
+  if (a * b <= 0.0f) return 0.0f;
+  return std::fabs(a) < std::fabs(b) ? a : b;
+}
+
+inline float minmod4(float a, float b, float c, float d) {
+  return minmod(minmod(a, b), minmod(c, d));
+}
+
+inline float median(float a, float b, float c) {
+  return a + minmod(b - a, c - a);
+}
+
+}  // namespace
+
+FluxWeights FluxWeights::compute(double theta) {
+  // Derived from the degree-5 Lagrange interpolant of the primitive function
+  // on interfaces {i-5/2 .. i+5/2}; see sl_mpp5.hpp.  Each weight vanishes
+  // at theta = 0 and the set satisfies sum w_k = theta (constant preserved)
+  // and w = (0,0,1,0,0) at theta = 1 (whole-cell shift is exact).
+  const double t = theta;
+  const double t2 = t * t;
+  FluxWeights fw;
+  fw.w[0] = t * (1.0 - t2) * (4.0 - t2) / 120.0;
+  fw.w[1] = t * (1.0 - t2) * (4.0 * t2 - 5.0 * t - 26.0) / 120.0;
+  fw.w[2] =
+      t * (((6.0 * t - 15.0) * t - 40.0) * t2 + 75.0 * t + 94.0) / 120.0;
+  fw.w[3] = t * (3.0 - t) * (1.0 - t) * (18.0 - t - 4.0 * t2) / 120.0;
+  fw.w[4] = -t * (3.0 - t) * (2.0 - t) * (1.0 - t2) / 120.0;
+  return fw;
+}
+
+int required_ghost(double xi) {
+  const int s = static_cast<int>(std::floor(xi));
+  const double theta = xi - s;
+  // Exact integer shift: the update only reads c[i - s].
+  if (theta == 0.0) return std::abs(s);
+  // Fractional flux at interface i+1/2 reads donor stencil cells
+  // [-s-3, n+1-s]: s+3 left ghosts and 2-s right ghosts.  The symmetric
+  // requirement max(s+3, 2-s) is 3 for every |xi| <= 1, which is why the
+  // production halo width equals kStencilGhost.
+  return std::max(s + kStencilGhost, 2 - s);
+}
+
+float mp5_interface_value(float fm2, float fm1, float f0, float fp1,
+                          float fp2) {
+  return (2.0f * fm2 - 13.0f * fm1 + 47.0f * f0 + 27.0f * fp1 - 3.0f * fp2) /
+         60.0f;
+}
+
+// The scalar kernel is the paper's "w/o SIMD instructions" baseline, so it
+// is pinned to scalar codegen: letting the compiler auto-vectorize it would
+// silently turn the baseline into a (worse) SIMD implementation and destroy
+// the Table-1 comparison.
+__attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+float mp_limit(float g, float fm2, float fm1, float f0, float fp1, float fp2,
+               float alpha) {
+  // Quick accept: candidate already between f0 and the monotonicity bound.
+  const float f_mp = f0 + minmod(fp1 - f0, alpha * (f0 - fm1));
+  if ((g - f0) * (g - f_mp) <= 1e-20f) return g;
+
+  // Curvatures and the M4 bound of Suresh & Huynh (1997).
+  const float dm1 = fm2 - 2.0f * fm1 + f0;
+  const float d0 = fm1 - 2.0f * f0 + fp1;
+  const float dp1 = f0 - 2.0f * fp1 + fp2;
+  const float d_half_p =
+      minmod4(4.0f * d0 - dp1, 4.0f * dp1 - d0, d0, dp1);  // at i+1/2
+  const float d_half_m =
+      minmod4(4.0f * dm1 - d0, 4.0f * d0 - dm1, dm1, d0);  // at i-1/2
+
+  const float f_ul = f0 + alpha * (f0 - fm1);
+  const float f_av = 0.5f * (f0 + fp1);
+  const float f_md = f_av - 0.5f * d_half_p;
+  const float f_lc = f0 + 0.5f * std::min(1.0f, alpha) * (f0 - fm1) +
+                     (alpha / 3.0f) * d_half_m;
+
+  const float f_min = std::max(std::min({f0, fp1, f_md}),
+                               std::min({f0, f_ul, f_lc}));
+  const float f_max = std::min(std::max({f0, fp1, f_md}),
+                               std::max({f0, f_ul, f_lc}));
+  return median(g, f_min, f_max);
+}
+
+__attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+void advect_line_scalar(const float* in, float* out, int n, int ghost,
+                        double xi, Limiter limiter) {
+  assert(ghost >= required_ghost(xi));
+  const int s = static_cast<int>(std::floor(xi));
+  const double theta = xi - s;
+  if (theta == 0.0) {
+    // Exact whole-cell translation (the semi-Lagrangian scheme is exact
+    // for integer shifts; no flux computation needed).
+    const float* c = in + ghost;
+    for (int i = 0; i < n; ++i) out[i] = c[i - s];
+    return;
+  }
+  const FluxWeights fw = FluxWeights::compute(theta);
+  const float w0 = static_cast<float>(fw.w[0]);
+  const float w1 = static_cast<float>(fw.w[1]);
+  const float w2 = static_cast<float>(fw.w[2]);
+  const float w3 = static_cast<float>(fw.w[3]);
+  const float w4 = static_cast<float>(fw.w[4]);
+  const float theta_f = static_cast<float>(theta);
+  const float inv_theta =
+      theta > 1e-12 ? static_cast<float>(1.0 / theta) : 0.0f;
+  const float alpha = mp_alpha_for(theta);
+
+  const float* c = in + ghost;  // c[i] = cell i
+  // Fractional flux through the right interface of shifted cell j = i - s,
+  // for interfaces i + 1/2 with i = -1 .. n-1 (stored at index i + 1).
+  std::vector<float> flux(static_cast<std::size_t>(n) + 1);
+  for (int i = -1; i < n; ++i) {
+    const int j = i - s;
+    float F = w0 * c[j - 2] + w1 * c[j - 1] + w2 * c[j] + w3 * c[j + 1] +
+              w4 * c[j + 2];
+    if (limiter != Limiter::kNone && theta > 1e-12) {
+      const float g = F * inv_theta;
+      const float g_lim =
+          mp_limit(g, c[j - 2], c[j - 1], c[j], c[j + 1], c[j + 2], alpha);
+      F = theta_f * g_lim;
+    }
+    if (limiter == Limiter::kMpp) {
+      // Positivity: the donor cell j has exactly one outgoing (fractional)
+      // flux, so 0 <= F <= f_j keeps every updated average non-negative.
+      F = std::max(0.0f, std::min(F, c[j]));
+    }
+    flux[static_cast<std::size_t>(i) + 1] = F;
+  }
+  for (int i = 0; i < n; ++i) {
+    out[i] = c[i - s] - flux[static_cast<std::size_t>(i) + 1] +
+             flux[static_cast<std::size_t>(i)];
+  }
+}
+
+void advect_line_periodic(float* f, int n, double xi, Limiter limiter) {
+  const int ghost = required_ghost(xi);
+  std::vector<float> padded(static_cast<std::size_t>(n) + 2 * ghost);
+  for (int i = -ghost; i < n + ghost; ++i) {
+    int j = ((i % n) + n) % n;
+    padded[static_cast<std::size_t>(i + ghost)] = f[j];
+  }
+  advect_line_scalar(padded.data(), f, n, ghost, xi, limiter);
+}
+
+namespace {
+
+// Semi-discrete RHS for the Eulerian MP5 baseline: L(f)_i =
+// -xi * (fhat_{i+1/2} - fhat_{i-1/2}) with upwind MP5 interface values.
+// Periodic in i; positive xi orientation (callers mirror for xi < 0).
+void mp5_rhs(const std::vector<float>& f, std::vector<float>& rhs, int n,
+             float xi) {
+  auto at = [&](int i) { return f[static_cast<std::size_t>(((i % n) + n) % n)]; };
+  std::vector<float> fhat(static_cast<std::size_t>(n));  // fhat[i] = f_{i+1/2}
+  for (int i = 0; i < n; ++i) {
+    const float g = mp5_interface_value(at(i - 2), at(i - 1), at(i), at(i + 1),
+                                        at(i + 2));
+    fhat[static_cast<std::size_t>(i)] =
+        mp_limit(g, at(i - 2), at(i - 1), at(i), at(i + 1), at(i + 2));
+  }
+  for (int i = 0; i < n; ++i) {
+    const float fm = fhat[static_cast<std::size_t>(((i - 1) % n + n) % n)];
+    rhs[static_cast<std::size_t>(i)] =
+        -xi * (fhat[static_cast<std::size_t>(i)] - fm);
+  }
+}
+
+}  // namespace
+
+void advect_line_periodic_rk3_mp5(float* f, int n, double xi) {
+  assert(std::fabs(xi) <= 1.0);
+  // Mirror leftward flows onto the positive-velocity code path.
+  if (xi < 0.0) {
+    std::reverse(f, f + n);
+    advect_line_periodic_rk3_mp5(f, n, -xi);
+    std::reverse(f, f + n);
+    return;
+  }
+  const float x = static_cast<float>(xi);
+  std::vector<float> u0(f, f + n), u1(static_cast<std::size_t>(n)),
+      u2(static_cast<std::size_t>(n)), rhs(static_cast<std::size_t>(n));
+
+  mp5_rhs(u0, rhs, n, x);
+  for (int i = 0; i < n; ++i)
+    u1[static_cast<std::size_t>(i)] =
+        u0[static_cast<std::size_t>(i)] + rhs[static_cast<std::size_t>(i)];
+
+  mp5_rhs(u1, rhs, n, x);
+  for (int i = 0; i < n; ++i)
+    u2[static_cast<std::size_t>(i)] = 0.75f * u0[static_cast<std::size_t>(i)] +
+                                      0.25f * (u1[static_cast<std::size_t>(i)] +
+                                               rhs[static_cast<std::size_t>(i)]);
+
+  mp5_rhs(u2, rhs, n, x);
+  for (int i = 0; i < n; ++i)
+    f[i] = (1.0f / 3.0f) * u0[static_cast<std::size_t>(i)] +
+           (2.0f / 3.0f) * (u2[static_cast<std::size_t>(i)] +
+                            rhs[static_cast<std::size_t>(i)]);
+}
+
+}  // namespace v6d::vlasov

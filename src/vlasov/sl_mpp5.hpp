@@ -1,0 +1,102 @@
+// SL-MPP5: the paper's core numerical scheme (§5.2; Tanaka et al. 2017).
+//
+// One-dimensional constant-coefficient advection  df/dt + v df/dx = 0  on a
+// uniform grid of cell averages is advanced in a single stage:
+//
+//   f_i^{n+1} = f_i^n - (F_{i+1/2} - F_{i-1/2}),
+//   F_{i+1/2} = (1/dx) * Integral of the reconstruction over
+//               [x_{i+1/2} - v dt, x_{i+1/2}]              (a mass fraction).
+//
+// The reconstruction is the degree-5 interpolant of the primitive function
+// through six interfaces, which makes the flux a closed-form quintic in the
+// shift xi = v dt / dx and the scheme spatially 5th-order accurate.  Because
+// the flux integrates the departure interval *exactly in time*, no Runge-
+// Kutta sub-stages are needed: this is the paper's "spatially high-order
+// scheme with a single-stage time integration", and it is stable for any
+// |xi| (the integer part of the shift is applied as an exact index shift;
+// only the fractional part goes through the flux).
+//
+// Monotonicity: the time-averaged interface value g = F/theta is limited
+// with the Suresh-Huynh MP5 bounds (accurate at smooth extrema, clips
+// spurious oscillations).  Positivity: the fractional flux is clamped to
+// [0, f_donor], which bounds the single outgoing flux of each donor cell and
+// hence keeps cell averages non-negative.  Both limiters modify only the
+// *flux*, so conservation is structural.
+//
+// Sign convention: we always decompose xi = s + theta with s = floor(xi) and
+// theta in [0,1).  After the exact shift by s, the residual displacement is
+// rightward, so a single (positive-velocity) flux code path serves both flow
+// directions.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/aligned.hpp"
+
+namespace v6d::vlasov {
+
+/// Ghost cells needed on each side for the fractional flux + MP limiter.
+inline constexpr int kStencilGhost = 3;
+
+/// Estimated floating-point operations per updated cell for the limited
+/// kernel; used by the Table-1 bench to convert cell rates into Gflop/s
+/// (the paper reports Gflops for the same sweep).
+inline constexpr double kFlopsPerCellMpp = 45.0;
+
+enum class Limiter {
+  kNone,  // raw 5th-order semi-Lagrangian flux (linear scheme)
+  kMp,    // + Suresh-Huynh monotonicity-preserving bounds
+  kMpp,   // + positivity clamp (the paper's production scheme)
+};
+
+/// Closed-form 5th-order semi-Lagrangian flux weights for fractional shift
+/// theta in [0,1]:  F_{i+1/2} = sum_k w[k] f_{i-2+k}  (cells i-2 .. i+2).
+struct FluxWeights {
+  std::array<double, 5> w;
+
+  static FluxWeights compute(double theta);
+};
+
+/// Ghost width required by advect_line_* for shift xi.
+int required_ghost(double xi);
+
+/// Scalar reference kernel.
+///
+/// `in` holds n + 2*ghost values, with in[ghost + i] = cell i; `out` receives
+/// n updated cell averages.  Requires ghost >= required_ghost(xi).
+void advect_line_scalar(const float* in, float* out, int n, int ghost,
+                        double xi, Limiter limiter);
+
+/// Convenience periodic wrapper (serial grids and tests): updates f in
+/// place over a periodic line of n cells.
+void advect_line_periodic(float* f, int n, double xi, Limiter limiter);
+
+/// Eulerian baseline for the ablation bench (§5.2 cost comparison): MP5
+/// reconstruction + 3-stage SSP-RK3, periodic line, requires |xi| <= 1.
+/// Performs three flux computations per step versus SL-MPP5's one.
+void advect_line_periodic_rk3_mp5(float* f, int n, double xi);
+
+/// Point-value MP5 reconstruction at interface i+1/2 from cells i-2..i+2
+/// (positive-velocity orientation).  Exposed for tests.
+float mp5_interface_value(float fm2, float fm1, float f0, float fp1,
+                          float fp2);
+
+/// Apply the Suresh-Huynh MP bounds to a candidate interface value `g`
+/// given the five-cell stencil; returns the limited value.  Exposed for
+/// tests and shared by the scalar and vector kernels.
+///
+/// `alpha` is the curvature-relaxation parameter; monotonicity is
+/// guaranteed when the effective CFL (the fractional shift theta in the
+/// SL setting) satisfies theta * (1 + alpha) <= 1, so the SL kernels pass
+/// alpha = min(4, 1/theta - 1) (see mp_alpha_for).
+float mp_limit(float g, float fm2, float fm1, float f0, float fp1, float fp2,
+               float alpha = 4.0f);
+
+/// Adaptive Suresh-Huynh alpha keeping the scheme monotone at shift theta.
+inline float mp_alpha_for(double theta) {
+  if (theta <= 0.2) return 4.0f;
+  return static_cast<float>(1.0 / theta - 1.0);
+}
+
+}  // namespace v6d::vlasov

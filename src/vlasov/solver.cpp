@@ -1,0 +1,63 @@
+#include "vlasov/solver.hpp"
+
+namespace v6d::vlasov {
+
+VlasovSolver::VlasovSolver(PhaseSpace f, double box,
+                           const VlasovSolverOptions& options)
+    : f_(std::move(f)),
+      box_(box),
+      options_(options),
+      poisson_(f_.dims().nx, f_.dims().ny, f_.dims().nz,
+               f_.dims().nx * f_.geom().dx, f_.dims().ny * f_.geom().dy,
+               f_.dims().nz * f_.geom().dz),
+      rho_(f_.dims().nx, f_.dims().ny, f_.dims().nz),
+      phi_(f_.dims().nx, f_.dims().ny, f_.dims().nz, 2),
+      gx_(f_.dims().nx, f_.dims().ny, f_.dims().nz),
+      gy_(f_.dims().nx, f_.dims().ny, f_.dims().nz),
+      gz_(f_.dims().nx, f_.dims().ny, f_.dims().nz) {
+  if (options_.self_gravity) refresh_gravity();
+}
+
+void VlasovSolver::set_external_accel(const mesh::Grid3D<double>* gx,
+                                      const mesh::Grid3D<double>* gy,
+                                      const mesh::Grid3D<double>* gz) {
+  ext_gx_ = gx;
+  ext_gy_ = gy;
+  ext_gz_ = gz;
+  options_.self_gravity = false;
+}
+
+void VlasovSolver::refresh_gravity() {
+  ScopedTimer timer(timers_, "poisson");
+  compute_density(f_, rho_);
+  gravity::PoissonOptions popt;
+  popt.prefactor = options_.four_pi_g;
+  popt.green = gravity::GreenFunction::kExactK2;
+  poisson_.solve_forces(rho_, gx_, gy_, gz_, popt);
+  poisson_.solve(rho_, phi_, popt);
+}
+
+double VlasovSolver::max_dt() const {
+  const double shift = max_position_shift(f_, 1.0);  // |xi| per unit dt
+  return shift > 0.0 ? options_.cfl / shift : 1e30;
+}
+
+double VlasovSolver::step(double dt) {
+  const auto& gx = ext_gx_ ? *ext_gx_ : gx_;
+  const auto& gy = ext_gy_ ? *ext_gy_ : gy_;
+  const auto& gz = ext_gz_ ? *ext_gz_ : gz_;
+
+  {
+    ScopedTimer timer(timers_, "vlasov");
+    kick_half(f_, gx, gy, gz, 0.5 * dt, options_.kernel);
+    drift_full(f_, dt, options_.kernel, periodic_halo_filler());
+  }
+  if (options_.self_gravity) refresh_gravity();
+  {
+    ScopedTimer timer(timers_, "vlasov");
+    kick_half(f_, gx, gy, gz, 0.5 * dt, options_.kernel);
+  }
+  return dt;
+}
+
+}  // namespace v6d::vlasov

@@ -1,0 +1,65 @@
+// Self-contained Vlasov-Poisson solver (non-cosmological, a = 1).
+//
+// Drives the 6-D phase space with self-gravity (or a fixed external
+// acceleration), using the Eq.(5) splitting.  This is the configuration of
+// the paper's §5.2-5.3 kernel studies and of classic collisionless test
+// problems; the cosmological production path (expansion factors, CDM
+// coupling) lives in hybrid/HybridSolver.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/timer.hpp"
+#include "gravity/poisson.hpp"
+#include "vlasov/moments.hpp"
+#include "vlasov/splitting.hpp"
+
+namespace v6d::vlasov {
+
+struct VlasovSolverOptions {
+  SweepKernel kernel = SweepKernel::kAuto;
+  /// 4 pi G in the problem's units (Poisson prefactor on rho - mean).
+  double four_pi_g = 1.0;
+  bool self_gravity = true;
+  double cfl = 0.9;  // bound on the position-sweep |xi|
+};
+
+class VlasovSolver {
+ public:
+  VlasovSolver(PhaseSpace f, double box, const VlasovSolverOptions& options);
+
+  PhaseSpace& phase_space() { return f_; }
+  const PhaseSpace& phase_space() const { return f_; }
+
+  /// Largest dt satisfying the position CFL bound.
+  double max_dt() const;
+
+  /// One Eq.(5) step; recomputes the self-gravity between the kick halves
+  /// (kick-drift-kick).  Returns the dt actually taken (= dt).
+  double step(double dt);
+
+  /// External acceleration mode: fixed fields owned by the caller.
+  void set_external_accel(const mesh::Grid3D<double>* gx,
+                          const mesh::Grid3D<double>* gy,
+                          const mesh::Grid3D<double>* gz);
+
+  const mesh::Grid3D<double>& density() const { return rho_; }
+  const mesh::Grid3D<double>& potential() const { return phi_; }
+  TimerRegistry& timers() { return timers_; }
+
+  /// Recompute rho and the self-gravity fields from the current f.
+  void refresh_gravity();
+
+ private:
+  PhaseSpace f_;
+  double box_;
+  VlasovSolverOptions options_;
+  gravity::PoissonSolver poisson_;
+  mesh::Grid3D<double> rho_, phi_, gx_, gy_, gz_;
+  const mesh::Grid3D<double>*ext_gx_ = nullptr, *ext_gy_ = nullptr,
+                            *ext_gz_ = nullptr;
+  TimerRegistry timers_;
+};
+
+}  // namespace v6d::vlasov

@@ -1,0 +1,44 @@
+// High-level directional sweeps over the 6-D phase space (paper Eq. 3-5).
+//
+// Position sweeps advect along x/y/z with per-velocity-cell speed
+// u_i / a^2 (the caller folds the 1/a^2 time integral into drift_factor);
+// spatial ghost blocks must be filled (halo exchange) beforehand.
+// Velocity sweeps advect along ux/uy/uz with the spatially varying
+// acceleration -grad(phi); they are communication-free (§5.1.3).
+//
+// Every sweep can run with three interchangeable kernels (scalar reference,
+// multi-lane SIMD, LAT); kAuto picks SIMD for the five non-contiguous axes
+// and LAT for uz, the memory-contiguous axis (paper Table 1).
+#pragma once
+
+#include "mesh/grid.hpp"
+#include "vlasov/advect_kernels.hpp"
+#include "vlasov/phase_space.hpp"
+
+namespace v6d::vlasov {
+
+enum class SweepKernel { kScalar, kSimd, kLat, kAuto };
+
+/// Advect along spatial axis (0=x, 1=y, 2=z).  xi per line is
+/// u_axis(velocity index) * drift_factor / dx_axis; requires |xi| <= 1
+/// (enforce via timestep control) and filled spatial ghosts.
+void advect_position_axis(PhaseSpace& f, int axis, double drift_factor,
+                          SweepKernel kernel);
+
+/// Advect along velocity axis (0=ux, 1=uy, 2=uz) with acceleration field
+/// `accel` (= -dphi/dx_axis on the spatial grid) over time dt.
+void advect_velocity_axis(PhaseSpace& f, int axis,
+                          const mesh::Grid3D<double>& accel, double dt,
+                          SweepKernel kernel);
+
+/// Largest |xi| any position sweep would see for the given drift factor
+/// (used for CFL-limited timestep selection).
+double max_position_shift(const PhaseSpace& f, double drift_factor);
+
+/// Largest |xi| a velocity sweep would see for acceleration fields g.
+double max_velocity_shift(const PhaseSpace& f,
+                          const mesh::Grid3D<double>& gx,
+                          const mesh::Grid3D<double>& gy,
+                          const mesh::Grid3D<double>& gz, double dt);
+
+}  // namespace v6d::vlasov

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "comm/cart.hpp"
+#include "comm/communicator.hpp"
+#include "comm/perfmodel.hpp"
+#include "comm/runner.hpp"
+
+namespace {
+
+using namespace v6d::comm;
+
+class CommRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommRanks, PointToPointRing) {
+  const int p = GetParam();
+  run(p, [&](Communicator& comm) {
+    const int next = (comm.rank() + 1) % p;
+    const int prev = (comm.rank() - 1 + p) % p;
+    const double payload = 100.0 + comm.rank();
+    comm.send(next, 1, &payload, 1);
+    double got = 0.0;
+    comm.recv(prev, 1, &got, 1);
+    EXPECT_DOUBLE_EQ(got, 100.0 + prev);
+  });
+}
+
+TEST_P(CommRanks, AllreduceSumMatchesSerial) {
+  const int p = GetParam();
+  run(p, [&](Communicator& comm) {
+    std::vector<double> data(8);
+    for (int i = 0; i < 8; ++i) data[static_cast<std::size_t>(i)] = comm.rank() * 10.0 + i;
+    comm.allreduce_sum(data.data(), data.size());
+    for (int i = 0; i < 8; ++i) {
+      double expected = 0.0;
+      for (int r = 0; r < p; ++r) expected += r * 10.0 + i;
+      EXPECT_DOUBLE_EQ(data[static_cast<std::size_t>(i)], expected);
+    }
+  });
+}
+
+TEST_P(CommRanks, AllreduceMinMax) {
+  const int p = GetParam();
+  run(p, [&](Communicator& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(static_cast<double>(comm.rank())),
+                     p - 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_min(static_cast<double>(comm.rank())),
+                     0.0);
+  });
+}
+
+TEST_P(CommRanks, BroadcastFromEveryRoot) {
+  const int p = GetParam();
+  run(p, [&](Communicator& comm) {
+    for (int root = 0; root < p; ++root) {
+      int value = comm.rank() == root ? 555 + root : -1;
+      comm.bcast(&value, 1, root);
+      EXPECT_EQ(value, 555 + root);
+    }
+  });
+}
+
+TEST_P(CommRanks, AllgatherOrdersByRank) {
+  const int p = GetParam();
+  run(p, [&](Communicator& comm) {
+    const std::int32_t mine[2] = {comm.rank(), comm.rank() * comm.rank()};
+    const auto all = comm.allgather(mine, 2);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(2 * p));
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(2 * r)], r);
+      EXPECT_EQ(all[static_cast<std::size_t>(2 * r + 1)], r * r);
+    }
+  });
+}
+
+TEST_P(CommRanks, AlltoallTransposesBlocks) {
+  const int p = GetParam();
+  run(p, [&](Communicator& comm) {
+    std::vector<std::int32_t> send(static_cast<std::size_t>(p)),
+        recv(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d)
+      send[static_cast<std::size_t>(d)] = comm.rank() * 1000 + d;
+    comm.alltoall(send.data(), recv.data(), 1);
+    for (int s = 0; s < p; ++s)
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)], s * 1000 + comm.rank());
+  });
+}
+
+TEST_P(CommRanks, AlltoallvVariableSizes) {
+  const int p = GetParam();
+  run(p, [&](Communicator& comm) {
+    std::vector<std::vector<std::uint8_t>> send(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d)
+      send[static_cast<std::size_t>(d)].assign(
+          static_cast<std::size_t>(comm.rank() + d + 1),
+          static_cast<std::uint8_t>(comm.rank() * 16 + d));
+    const auto recv = comm.alltoallv(send);
+    for (int s = 0; s < p; ++s) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(s)].size(),
+                static_cast<std::size_t>(s + comm.rank() + 1));
+      for (auto byte : recv[static_cast<std::size_t>(s)])
+        EXPECT_EQ(byte, static_cast<std::uint8_t>(s * 16 + comm.rank()));
+    }
+  });
+}
+
+TEST_P(CommRanks, BarrierSeparatesPhases) {
+  const int p = GetParam();
+  std::atomic<int> phase_one{0};
+  run(p, [&](Communicator& comm) {
+    phase_one.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(phase_one.load(), p);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CommRanks, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Comm, TrafficCountersTrackBytes) {
+  run(2, [&](Communicator& comm) {
+    comm.reset_traffic_counters();
+    const double payload[4] = {1, 2, 3, 4};
+    comm.send(1 - comm.rank(), 9, payload, 4);
+    double sink[4];
+    comm.recv(1 - comm.rank(), 9, sink, 4);
+    EXPECT_EQ(comm.bytes_sent(), 4 * sizeof(double));
+    EXPECT_EQ(comm.messages_sent(), 1u);
+  });
+}
+
+TEST(Comm, ExceptionInRankPropagates) {
+  EXPECT_THROW(run(2,
+                   [&](Communicator& comm) {
+                     comm.barrier();
+                     if (comm.rank() == 1)
+                       throw std::runtime_error("rank failure");
+                   }),
+               std::runtime_error);
+}
+
+TEST(Comm, RunCollectGathersValues) {
+  const auto values =
+      run_collect(4, [](Communicator& comm) { return comm.rank() * 2.5; });
+  ASSERT_EQ(values.size(), 4u);
+  for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(values[static_cast<std::size_t>(r)], r * 2.5);
+}
+
+TEST(CartTopology, CoordsRoundTrip) {
+  run(8, [&](Communicator& comm) {
+    CartTopology cart(comm, {2, 2, 2});
+    const auto c = cart.coords();
+    EXPECT_EQ(cart.rank_of(c), comm.rank());
+    // All coords within dims.
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_GE(c[static_cast<std::size_t>(axis)], 0);
+      EXPECT_LT(c[static_cast<std::size_t>(axis)], 2);
+    }
+  });
+}
+
+TEST(CartTopology, NeighborsArePeriodic) {
+  run(4, [&](Communicator& comm) {
+    CartTopology cart(comm, {4, 1, 1});
+    const auto nbr = cart.neighbors(0);
+    const int me = cart.coords()[0];
+    EXPECT_EQ(cart.coords_of(nbr[0])[0], (me + 3) % 4);
+    EXPECT_EQ(cart.coords_of(nbr[1])[0], (me + 1) % 4);
+    // Degenerate axes are self-neighbors.
+    const auto nbr_y = cart.neighbors(1);
+    EXPECT_EQ(nbr_y[0], comm.rank());
+    EXPECT_EQ(nbr_y[1], comm.rank());
+  });
+}
+
+TEST(CartTopology, ChooseDimsFactorizes) {
+  for (int p : {1, 2, 3, 4, 6, 8, 12, 16, 24, 27, 36, 64, 96, 144}) {
+    const auto dims = CartTopology::choose_dims(p);
+    EXPECT_EQ(dims[0] * dims[1] * dims[2], p) << "p=" << p;
+    EXPECT_GE(dims[0], dims[1]);
+    EXPECT_GE(dims[1], dims[2]);
+    // Near-cubic: max/min ratio bounded for highly composite counts.
+    if (p == 8) EXPECT_EQ(dims[0], 2);
+    if (p == 64) EXPECT_EQ(dims[0], 4);
+  }
+}
+
+TEST(PerfModel, TimesScaleWithVolumeAndLatency) {
+  NetworkModel net;
+  net.alpha = 1e-6;
+  net.beta = 1e9;
+  EXPECT_DOUBLE_EQ(net.message_time(0), 1e-6);
+  EXPECT_NEAR(net.message_time(1000000), 1e-6 + 1e-3, 1e-12);
+  EXPECT_GT(net.allreduce_time(1024, 8), net.allreduce_time(2, 8));
+  EXPECT_GT(net.alltoall_time(64, 1 << 20), net.alltoall_time(8, 1 << 20));
+  EXPECT_DOUBLE_EQ(net.allreduce_time(1, 8), 0.0);
+}
+
+}  // namespace

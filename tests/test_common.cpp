@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/aligned.hpp"
+#include "common/ndview.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace {
+
+using namespace v6d;
+
+TEST(Aligned, VectorIsSimdAligned) {
+  AlignedVector<float> v(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kSimdAlign, 0u);
+  AlignedVector<double> w(7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % kSimdAlign, 0u);
+}
+
+TEST(NdView, StridedAccess) {
+  std::vector<double> data(24);
+  for (int i = 0; i < 24; ++i) data[static_cast<std::size_t>(i)] = i;
+  View3D<double> v(data.data(), 2, 3, 4);
+  EXPECT_EQ(v(0, 0, 0), 0.0);
+  EXPECT_EQ(v(1, 2, 3), 23.0);
+  EXPECT_EQ(v(1, 0, 2), 14.0);
+  EXPECT_EQ(v.stride(0), 12);
+  EXPECT_EQ(v.stride(1), 4);
+  EXPECT_EQ(v.stride(2), 1);
+
+  View2D<double> m(data.data(), 4, 6);
+  EXPECT_EQ(m.row(2)(3), 15.0);
+  EXPECT_EQ(m.col(1)(3), 19.0);
+}
+
+TEST(Rng, DeterministicAndWellDistributed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+
+  Xoshiro256 rng(7);
+  double mean = 0.0, var = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    mean += x;
+  }
+  mean /= n;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  Xoshiro256 rng2(7);
+  for (int i = 0; i < n; ++i) {
+    const double d = rng2.next_double() - 0.5;
+    var += d * d;
+  }
+  EXPECT_NEAR(var / n, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Xoshiro256 rng(99);
+  const int n = 200000;
+  double mean = 0.0, var = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_normal();
+    mean += x;
+    var += x * x;
+  }
+  EXPECT_NEAR(mean / n, 0.0, 0.01);
+  EXPECT_NEAR(var / n, 1.0, 0.02);
+}
+
+TEST(Rng, SplitStreamsDecorrelated) {
+  Xoshiro256 parent(1);
+  Xoshiro256 child = parent.split();
+  int agree = 0;
+  for (int i = 0; i < 64; ++i)
+    if ((parent.next_u64() & 1) == (child.next_u64() & 1)) ++agree;
+  EXPECT_GT(agree, 16);  // not complementary
+  EXPECT_LT(agree, 48);  // not identical
+}
+
+TEST(Rng, HashMixSpreadsBits) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(hash_mix(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Timer, AccumulatesAndMedians) {
+  TimerRegistry reg;
+  reg.add("part", 1.0);
+  reg.add("part", 2.0);
+  EXPECT_DOUBLE_EQ(reg.total("part"), 3.0);
+  reg.add_sample("step", 5.0);
+  reg.add_sample("step", 1.0);
+  reg.add_sample("step", 3.0);
+  EXPECT_DOUBLE_EQ(reg.median_sample("step"), 3.0);
+  reg.add_sample("step", 100.0);
+  EXPECT_DOUBLE_EQ(reg.median_sample("step"), 4.0);  // (3+5)/2
+  EXPECT_DOUBLE_EQ(reg.total("missing"), 0.0);
+  EXPECT_EQ(reg.buckets().size(), 2u);
+}
+
+TEST(Timer, ScopedTimerMeasuresElapsed) {
+  TimerRegistry reg;
+  {
+    ScopedTimer t(reg, "sleepy");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(reg.total("sleepy"), 0.005);
+  EXPECT_LT(reg.total("sleepy"), 1.0);
+}
+
+TEST(Options, ParsesKeyValueAndDefaults) {
+  const char* argv[] = {"prog", "grid=32", "box=12.5", "simd=off"};
+  Options opt(4, const_cast<char**>(argv));
+  EXPECT_EQ(opt.get_int("grid", 8), 32);
+  EXPECT_DOUBLE_EQ(opt.get_double("box", 1.0), 12.5);
+  EXPECT_FALSE(opt.get_bool("simd", true));
+  EXPECT_EQ(opt.get_int("missing", 7), 7);
+  EXPECT_TRUE(opt.has("grid"));
+  EXPECT_FALSE(opt.has("nothere"));
+}
+
+TEST(Options, EnvironmentFallback) {
+  setenv("V6D_TESTKEY", "41", 1);
+  Options opt;
+  EXPECT_EQ(opt.get_int("testkey", 0), 41);
+  unsetenv("V6D_TESTKEY");
+  EXPECT_EQ(opt.get_int("testkey", 5), 5);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cosmology/background.hpp"
+#include "cosmology/power_spectrum.hpp"
+#include "cosmology/transfer.hpp"
+
+namespace {
+
+using namespace v6d::cosmo;
+
+TEST(Params, NeutrinoMassMapsToOmegaNu) {
+  Params p = Params::planck2015(0.4);
+  // Omega_nu h^2 = 0.4 / 93.14 ~ 0.004295 -> Omega_nu ~ 0.00936 at h=0.6774.
+  EXPECT_NEAR(p.omega_nu, 0.4 / 93.14 / (0.6774 * 0.6774), 1e-6);
+  EXPECT_NEAR(p.f_nu(), p.omega_nu / p.omega_m, 1e-12);
+  EXPECT_LT(p.omega_cdm(), p.omega_m);
+}
+
+TEST(Background, HubbleLimits) {
+  Background bg(Params::planck2015(0.0));
+  EXPECT_NEAR(bg.hubble(1.0), 1.0, 1e-12);  // H(a=1) = H0
+  // Matter domination at early times: H ~ sqrt(Om) a^-3/2.
+  const double a = 0.01;
+  EXPECT_NEAR(bg.hubble(a), std::sqrt(0.3089) * std::pow(a, -1.5),
+              0.01 * bg.hubble(a));
+}
+
+TEST(Background, AgeOfEdSUniverseMatchesClosedForm) {
+  // Einstein-de Sitter (Om = 1): t(a) = (2/3) a^{3/2} / H0.
+  Params p;
+  p.omega_m = 1.0;
+  p.omega_lambda = 0.0;
+  Background bg(p);
+  for (double a : {0.1, 0.5, 1.0})
+    EXPECT_NEAR(bg.time_of(a), 2.0 / 3.0 * std::pow(a, 1.5), 1e-6);
+}
+
+TEST(Background, AOfTimeInvertsTimeOf) {
+  Background bg(Params::planck2015(0.4));
+  for (double a : {0.05, 0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(bg.a_of_time(bg.time_of(a)), a, 1e-6);
+  }
+}
+
+TEST(Background, DriftKickFactorsEdSClosedForm) {
+  // EdS: drift = int da/(a^3 H) = int a^{-3/2} da = 2 (a0^-1/2 - a1^-1/2);
+  //      kick  = int da/(a H)   = int a^{-1/2}... wait: 1/(aH) = a^{1/2}
+  //      => kick = (2/3)(a1^{3/2} - a0^{3/2}).
+  Params p;
+  p.omega_m = 1.0;
+  p.omega_lambda = 0.0;
+  Background bg(p);
+  const double a0 = 0.25, a1 = 0.64;
+  EXPECT_NEAR(bg.drift_factor(a0, a1),
+              2.0 * (1.0 / std::sqrt(a0) - 1.0 / std::sqrt(a1)), 1e-9);
+  EXPECT_NEAR(bg.kick_factor(a0, a1),
+              (2.0 / 3.0) * (std::pow(a1, 1.5) - std::pow(a0, 1.5)), 1e-9);
+}
+
+TEST(Background, GrowthFactorEdSIsScaleFactor) {
+  Params p;
+  p.omega_m = 1.0;
+  p.omega_lambda = 0.0;
+  Background bg(p);
+  for (double a : {0.1, 0.3, 0.7}) {
+    EXPECT_NEAR(bg.growth_factor(a), a, 2e-3);
+    EXPECT_NEAR(bg.growth_rate(a), 1.0, 2e-3);
+  }
+}
+
+TEST(Background, LcdmGrowthSuppressedVsEdS) {
+  Background bg(Params::planck2015(0.0));
+  // In LCDM, D(a)/a decreases at late times and f = dlnD/dlna < 1 today.
+  EXPECT_LT(bg.growth_factor(1.0) / 1.0,
+            bg.growth_factor(0.1) / 0.1 + 1e-9);
+  const double f = bg.growth_rate(1.0);
+  // f ~ Om(a)^0.55 ~ 0.52 for Om = 0.31.
+  EXPECT_NEAR(f, std::pow(0.3089, 0.55), 0.03);
+}
+
+TEST(Transfer, NormalizedAtLargeScales) {
+  Transfer t(Params::planck2015(0.0));
+  EXPECT_NEAR(t.matter(1e-5), 1.0, 1e-3);
+  // Small-scale suppression is strong and monotone.
+  EXPECT_LT(t.matter(1.0), 0.1);
+  EXPECT_GT(t.matter(0.01), t.matter(0.1));
+  EXPECT_GT(t.matter(0.1), t.matter(1.0));
+}
+
+TEST(Transfer, BbksAndEh98AgreeInShape) {
+  const Params p = Params::planck2015(0.0);
+  Transfer eh(p, TransferShape::kEisensteinHu98);
+  Transfer bbks(p, TransferShape::kBbks);
+  for (double k : {0.01, 0.1, 0.5}) {
+    const double r = eh.matter(k) / bbks.matter(k);
+    EXPECT_GT(r, 0.5) << k;
+    EXPECT_LT(r, 2.0) << k;
+  }
+}
+
+TEST(Transfer, NeutrinoSuppressionScalesWithMassAndK) {
+  Params heavy = Params::planck2015(0.4);
+  Params light = Params::planck2015(0.2);
+  Transfer th(heavy), tl(light);
+  const double a = 1.0;
+  // No suppression at very large scales.
+  EXPECT_NEAR(th.neutrino_suppression(1e-4, a), 1.0, 1e-2);
+  // Strong suppression at small scales.
+  EXPECT_LT(th.neutrino_suppression(1.0, a), 0.1);
+  // Heavier neutrinos free-stream less: higher k_fs, weaker suppression at
+  // fixed k.
+  EXPECT_GT(th.k_freestream(a), tl.k_freestream(a));
+  EXPECT_GT(th.neutrino_suppression(0.5, a), tl.neutrino_suppression(0.5, a));
+}
+
+TEST(PowerSpectrum, Sigma8NormalizationHolds) {
+  PowerSpectrum ps(Params::planck2015(0.0));
+  EXPECT_NEAR(ps.sigma_r(8.0), 0.8159, 1e-3);
+}
+
+TEST(PowerSpectrum, GrowthScalesPower) {
+  PowerSpectrum ps(Params::planck2015(0.0));
+  const double k = 0.1;
+  const double d = ps.background().growth_factor(0.5);
+  EXPECT_NEAR(ps.matter(k, 0.5), ps.matter_z0(k) * d * d, 1e-12);
+}
+
+TEST(PowerSpectrum, NeutrinoPowerBelowMatterPower) {
+  PowerSpectrum ps(Params::planck2015(0.4));
+  for (double k : {0.05, 0.2, 1.0})
+    EXPECT_LT(ps.neutrino(k, 1.0), ps.matter(k, 1.0) + 1e-30);
+  // and the ratio falls with k.
+  const double r1 = ps.neutrino(0.05, 1.0) / ps.matter(0.05, 1.0);
+  const double r2 = ps.neutrino(0.5, 1.0) / ps.matter(0.5, 1.0);
+  EXPECT_GT(r1, r2);
+}
+
+TEST(PowerSpectrum, PeakAroundMatterRadiationScale)
+{
+  PowerSpectrum ps(Params::planck2015(0.0));
+  // P(k) should peak near k ~ 0.02 h/Mpc and fall on both sides.
+  const double p_peak = ps.matter_z0(0.02);
+  EXPECT_GT(p_peak, ps.matter_z0(0.001));
+  EXPECT_GT(p_peak, ps.matter_z0(0.5));
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "diagnostics/field_compare.hpp"
+#include "diagnostics/noise.hpp"
+#include "diagnostics/projections.hpp"
+#include "diagnostics/spectra.hpp"
+#include "diagnostics/vdf_probe.hpp"
+
+namespace {
+
+using namespace v6d;
+using namespace v6d::diag;
+
+TEST(Spectra, SingleModePowerInRightBin) {
+  const int n = 32;
+  const double box = 64.0;
+  mesh::Grid3D<double> rho(n, n, n);
+  const int m = 4;
+  const double amp = 0.2;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k)
+        rho.at(i, j, k) = 1.0 + amp * std::cos(2.0 * M_PI * m * i / n);
+  const auto bins = measure_power(rho, box);
+  // P = V |delta_k|^2 with delta_k = amp/2 at +-m: per-mode power
+  // V amp^2/4; bin m-1 holds both conjugate modes averaged.
+  const double kf = 2.0 * M_PI / box;
+  const auto& bin = bins[static_cast<std::size_t>(m - 1)];
+  EXPECT_NEAR(bin.k, kf * m, 0.3 * kf);
+  const double expected = box * box * box * amp * amp / 4.0;
+  // Two modes out of bin.modes carry the power.
+  EXPECT_NEAR(bin.power * static_cast<double>(bin.modes),
+              2.0 * expected, 0.05 * expected);
+}
+
+TEST(Spectra, PoissonSampleShowsShotNoise) {
+  // Random (Poisson) particles deposited NGP: P(k) ~ V/N at all k.
+  const int n = 32;
+  const double box = 100.0;
+  const std::size_t np = 40000;
+  mesh::Grid3D<double> rho(n, n, n);
+  Xoshiro256 rng(6);
+  const double h = box / n;
+  for (std::size_t i = 0; i < np; ++i) {
+    const int ci = static_cast<int>(rng.next_double() * n);
+    const int cj = static_cast<int>(rng.next_double() * n);
+    const int ck = static_cast<int>(rng.next_double() * n);
+    rho.at(ci, cj, ck) += 1.0 / (h * h * h);
+  }
+  const auto bins = measure_power(rho, box);
+  const double shot = shot_noise_level(box, static_cast<double>(np));
+  const double measured = high_k_power(bins, 0.3);
+  EXPECT_NEAR(measured, shot, 0.3 * shot);
+  EXPECT_NEAR(shot_noise_excess(bins, box, static_cast<double>(np)), 1.0,
+              0.35);
+}
+
+TEST(Spectra, CrossCorrelationOfIdenticalFieldsIsUnity) {
+  const int n = 16;
+  mesh::Grid3D<double> a(n, n, n);
+  Xoshiro256 rng(17);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k) a.at(i, j, k) = 1.0 + 0.3 * rng.next_normal();
+  std::vector<SpectrumBin> bins;
+  const auto r = cross_correlation(a, a, 10.0, &bins);
+  for (std::size_t b = 0; b < r.size(); ++b)
+    if (bins[b].modes > 0) EXPECT_NEAR(r[b], 1.0, 1e-10);
+}
+
+TEST(Spectra, CrossCorrelationOfIndependentFieldsIsSmall) {
+  const int n = 16;
+  mesh::Grid3D<double> a(n, n, n), b(n, n, n);
+  Xoshiro256 r1(1), r2(2);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k) {
+        a.at(i, j, k) = 1.0 + 0.3 * r1.next_normal();
+        b.at(i, j, k) = 1.0 + 0.3 * r2.next_normal();
+      }
+  std::vector<SpectrumBin> bins;
+  const auto r = cross_correlation(a, b, 10.0, &bins);
+  // Mid-range bins have many modes: correlation should be < ~0.3.
+  for (std::size_t q = 3; q < r.size() - 1; ++q)
+    if (bins[q].modes > 50) EXPECT_LT(std::fabs(r[q]), 0.35);
+}
+
+TEST(Projections, ProjectionAveragesAlongZ) {
+  const int n = 4;
+  mesh::Grid3D<double> f(n, n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k) f.at(i, j, k) = i + 10.0 * k;
+  const auto map = project_z(f);
+  // mean over k of (i + 10k) = i + 10*1.5.
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) EXPECT_NEAR(map.at(i, j), i + 15.0, 1e-12);
+}
+
+TEST(Projections, LogContrastDistinguishesSmoothFromClustered) {
+  const int n = 16;
+  mesh::Grid3D<double> smooth(n, n, n), clustered(n, n, n);
+  smooth.fill(1.0);
+  clustered.fill(0.1);
+  clustered.at(3, 3, 3) = 200.0;
+  clustered.at(9, 12, 4) = 150.0;
+  const double c_smooth = project_z(smooth).log_contrast_rms();
+  const double c_clustered = project_z(clustered).log_contrast_rms();
+  EXPECT_LT(c_smooth, 1e-12);
+  EXPECT_GT(c_clustered, 0.1);
+}
+
+TEST(FieldCompare, MetricsBehave) {
+  const int n = 8;
+  mesh::Grid3D<double> a(n, n, n), b(n, n, n);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k) {
+        a.at(i, j, k) = rng.next_normal();
+        b.at(i, j, k) = a.at(i, j, k) + 0.01 * rng.next_normal();
+      }
+  const auto d = compare_fields(a, b);
+  EXPECT_GT(d.correlation, 0.99);
+  EXPECT_LT(d.rel_l2, 0.05);
+  EXPECT_GE(d.linf, d.l2);
+  EXPECT_GE(d.l2, d.l1 * 0.5);
+  const auto self = compare_fields(a, a);
+  EXPECT_EQ(self.linf, 0.0);
+  EXPECT_NEAR(self.correlation, 1.0, 1e-12);
+}
+
+TEST(Noise, EquivalentResolutionMatchesPaperEq10) {
+  // Paper: N = 13824^3 neutrino particles in L; S/N = 100 -> L/640.
+  const double n_particles = std::pow(13824.0, 3);
+  const double dl = equivalent_resolution(1.0, n_particles, 100.0);
+  EXPECT_NEAR(dl, 1.0 / 640.0, 0.02 / 640.0);
+  // S/N = 50 -> ~ L/1018.
+  const double dl50 = equivalent_resolution(1.0, n_particles, 50.0);
+  EXPECT_NEAR(dl50, 1.0 / 1018.0, 0.03 / 1018.0);
+}
+
+TEST(VdfProbe, SliceIntegratesOverUz) {
+  vlasov::PhaseSpaceDims dims;
+  dims.nx = dims.ny = dims.nz = 2;
+  dims.nux = dims.nuy = dims.nuz = 4;
+  vlasov::PhaseSpaceGeometry geom;
+  geom.umax = 2.0;
+  geom.dux = geom.duy = geom.duz = 1.0;
+  vlasov::PhaseSpace f(dims, geom);
+  for (int c = 0; c < 4; ++c) f.at(1, 1, 1, 2, 3, c) = 1.0f;
+  const auto slice = probe_vdf(f, 1, 1, 1);
+  EXPECT_NEAR(slice.at(2, 3), 4.0 * geom.duz, 1e-6);
+  EXPECT_NEAR(slice.at(0, 0), 0.0, 1e-12);
+}
+
+TEST(VdfProbe, ParticleBinningFindsCellMembers) {
+  nbody::Particles p(4);
+  p.x = {0.5, 1.5, 0.6, 2.5};
+  p.y = {0.5, 0.5, 0.7, 2.5};
+  p.z = {0.5, 0.5, 0.4, 2.5};
+  p.ux = {1.0, 2.0, 3.0, 4.0};
+  p.uy = p.uz = {0.0, 0.0, 0.0, 0.0};
+  const auto cell = particles_in_cell(p, 3.0, 3, 0, 0, 0);
+  ASSERT_EQ(cell.ux.size(), 2u);
+  EXPECT_DOUBLE_EQ(cell.ux[0], 1.0);
+  EXPECT_DOUBLE_EQ(cell.ux[1], 3.0);
+}
+
+}  // namespace

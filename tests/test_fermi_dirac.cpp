@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "cosmology/fermi_dirac.hpp"
+
+namespace {
+
+using namespace v6d::cosmo;
+
+TEST(FermiDirac, ThermalVelocityScale) {
+  // m = 0.4/3 eV per species: u_th ~ 3.77 code units (= 377 km/s).
+  const double u_th = neutrino_thermal_velocity(0.4 / 3.0);
+  EXPECT_NEAR(u_th, 3.77, 0.05);
+  // Inverse proportionality to the mass.
+  EXPECT_NEAR(neutrino_thermal_velocity(0.2 / 3.0), 2.0 * u_th, 0.05 * u_th);
+}
+
+TEST(FermiDirac, DensityNormalizedToUnity) {
+  const double u_th = 2.0;
+  // Integral g(|u|) d^3u over a generous radial range.
+  const int n = 4000;
+  const double umax = 40.0 * u_th;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = (i + 0.5) * umax / n;
+    acc += 4.0 * M_PI * u * u * fd_density(u, u_th) * (umax / n);
+  }
+  EXPECT_NEAR(acc, 1.0, 1e-6);
+}
+
+TEST(FermiDirac, MomentsMatchClosedFormRatios) {
+  const double u_th = 1.3;
+  // <u>   = u_th * I3/I2, I3 = 7 pi^4/120, I2 = 3 zeta(3)/2.
+  const double i2 = 1.8030853547393952;
+  const double i3 = 7.0 * std::pow(M_PI, 4) / 120.0;
+  EXPECT_NEAR(fd_mean_speed(u_th), u_th * i3 / i2, 1e-4);
+  // <u^2> = u_th^2 * I4/I2, I4 = 45 zeta(5) / 2.
+  const double zeta5 = 1.0369277551433699;
+  const double i4 = 45.0 * zeta5 / 2.0;
+  EXPECT_NEAR(fd_rms_speed(u_th), u_th * std::sqrt(i4 / i2), 1e-4);
+}
+
+TEST(FermiDiracSampler, SampleMomentsMatchQuadrature) {
+  const double u_th = 3.0;
+  FermiDiracSampler sampler(u_th);
+  v6d::Xoshiro256 rng(2024);
+  const int n = 200000;
+  double mean = 0.0, mean_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = sampler.sample_speed(rng);
+    mean += u;
+    mean_sq += u * u;
+  }
+  mean /= n;
+  mean_sq /= n;
+  EXPECT_NEAR(mean, fd_mean_speed(u_th), 0.01 * fd_mean_speed(u_th));
+  EXPECT_NEAR(std::sqrt(mean_sq), fd_rms_speed(u_th),
+              0.01 * fd_rms_speed(u_th));
+}
+
+TEST(FermiDiracSampler, VectorSamplingIsIsotropic) {
+  FermiDiracSampler sampler(1.0);
+  v6d::Xoshiro256 rng(5);
+  const int n = 100000;
+  double sx = 0.0, sy = 0.0, sz = 0.0, sxx = 0.0, syy = 0.0, szz = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double ux, uy, uz;
+    sampler.sample_velocity(rng, ux, uy, uz);
+    sx += ux;
+    sy += uy;
+    sz += uz;
+    sxx += ux * ux;
+    syy += uy * uy;
+    szz += uz * uz;
+  }
+  const double rms2 = (sxx + syy + szz) / n;
+  EXPECT_NEAR(sx / n, 0.0, 0.02 * std::sqrt(rms2));
+  EXPECT_NEAR(sy / n, 0.0, 0.02 * std::sqrt(rms2));
+  EXPECT_NEAR(sz / n, 0.0, 0.02 * std::sqrt(rms2));
+  // Equal variance in every direction.
+  EXPECT_NEAR(sxx / n, rms2 / 3.0, 0.03 * rms2);
+  EXPECT_NEAR(syy / n, rms2 / 3.0, 0.03 * rms2);
+  EXPECT_NEAR(szz / n, rms2 / 3.0, 0.03 * rms2);
+}
+
+TEST(FermiDirac, DistributionHasLongTail) {
+  // The defining property the paper exploits (Fig. 5): an FD distribution
+  // has substantial mass several thermal speeds out.
+  const double u_th = 1.0;
+  const int n = 4000;
+  const double umax = 40.0;
+  double tail = 0.0, total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = (i + 0.5) * umax / n;
+    const double w = 4.0 * M_PI * u * u * fd_density(u, u_th) * (umax / n);
+    total += w;
+    if (u > 3.0 * u_th) tail += w;
+  }
+  EXPECT_GT(tail / total, 0.3);  // > 30% of neutrinos beyond 3 u_th
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/runner.hpp"
+#include "mesh/decomposition.hpp"
+#include "mesh/halo.hpp"
+
+namespace {
+
+using namespace v6d;
+
+// Global analytic value for a (grid, velocity) index.
+float cell_value(int gx, int gy, int gz, std::size_t v) {
+  return static_cast<float>(gx * 10000 + gy * 100 + gz) +
+         static_cast<float>(v) * 1e-4f;
+}
+
+class HaloRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(HaloRanks, PhaseSpaceHaloMatchesGlobalPeriodicField) {
+  const int p = GetParam();
+  const int n_global = 8;
+  const int nu = 2;
+  comm::run(p, [&](comm::Communicator& comm) {
+    comm::CartTopology cart(comm, comm::CartTopology::choose_dims(p));
+    mesh::BrickDecomposition dec({n_global, n_global, n_global}, cart.dims(),
+                                 cart.coords());
+    vlasov::PhaseSpaceDims dims;
+    dims.nx = dec.local_n(0);
+    dims.ny = dec.local_n(1);
+    dims.nz = dec.local_n(2);
+    dims.nux = dims.nuy = dims.nuz = nu;
+    vlasov::PhaseSpaceGeometry geom;
+    vlasov::PhaseSpace f(dims, geom);
+
+    for (int i = 0; i < dims.nx; ++i)
+      for (int j = 0; j < dims.ny; ++j)
+        for (int k = 0; k < dims.nz; ++k) {
+          float* blk = f.block(i, j, k);
+          for (std::size_t v = 0; v < f.block_size(); ++v)
+            blk[v] = cell_value(dec.offset(0) + i, dec.offset(1) + j,
+                                dec.offset(2) + k, v);
+        }
+
+    mesh::exchange_phase_space_halo(f, cart);
+
+    const int g = dims.ghost;
+    auto wrap = [&](int i) { return ((i % n_global) + n_global) % n_global; };
+    for (int i = -g; i < dims.nx + g; ++i)
+      for (int j = -g; j < dims.ny + g; ++j)
+        for (int k = -g; k < dims.nz + g; ++k) {
+          const float* blk = f.block(i, j, k);
+          const int gx = wrap(dec.offset(0) + i);
+          const int gy = wrap(dec.offset(1) + j);
+          const int gz = wrap(dec.offset(2) + k);
+          for (std::size_t v = 0; v < f.block_size(); ++v)
+            ASSERT_FLOAT_EQ(blk[v], cell_value(gx, gy, gz, v))
+                << "rank " << comm.rank() << " cell " << i << "," << j << ","
+                << k;
+        }
+  });
+}
+
+TEST_P(HaloRanks, GridHaloMatchesGlobalField) {
+  const int p = GetParam();
+  const int n_global = 12;
+  comm::run(p, [&](comm::Communicator& comm) {
+    comm::CartTopology cart(comm, comm::CartTopology::choose_dims(p));
+    mesh::BrickDecomposition dec({n_global, n_global, n_global}, cart.dims(),
+                                 cart.coords());
+    mesh::Grid3D<double> grid(dec.local_n(0), dec.local_n(1), dec.local_n(2),
+                              2);
+    for (int i = 0; i < grid.nx(); ++i)
+      for (int j = 0; j < grid.ny(); ++j)
+        for (int k = 0; k < grid.nz(); ++k)
+          grid.at(i, j, k) = (dec.offset(0) + i) * 1e4 +
+                             (dec.offset(1) + j) * 1e2 + (dec.offset(2) + k);
+    mesh::exchange_grid_halo(grid, cart);
+    auto wrap = [&](int i) { return ((i % n_global) + n_global) % n_global; };
+    for (int i = -2; i < grid.nx() + 2; ++i)
+      for (int j = -2; j < grid.ny() + 2; ++j)
+        for (int k = -2; k < grid.nz() + 2; ++k) {
+          const double expected = wrap(dec.offset(0) + i) * 1e4 +
+                                  wrap(dec.offset(1) + j) * 1e2 +
+                                  wrap(dec.offset(2) + k);
+          ASSERT_DOUBLE_EQ(grid.at(i, j, k), expected);
+        }
+  });
+}
+
+TEST_P(HaloRanks, FoldHaloAccumulatesDepositsOnce) {
+  const int p = GetParam();
+  const int n_global = 8;
+  comm::run(p, [&](comm::Communicator& comm) {
+    comm::CartTopology cart(comm, comm::CartTopology::choose_dims(p));
+    mesh::BrickDecomposition dec({n_global, n_global, n_global}, cart.dims(),
+                                 cart.coords());
+    mesh::Grid3D<double> grid(dec.local_n(0), dec.local_n(1), dec.local_n(2),
+                              1);
+    // Every rank deposits 1.0 into *every* cell of its extended region
+    // (interior + ghosts).  After folding, each interior cell must hold
+    // exactly the number of extended regions that cover its global index.
+    for (int i = -1; i < grid.nx() + 1; ++i)
+      for (int j = -1; j < grid.ny() + 1; ++j)
+        for (int k = -1; k < grid.nz() + 1; ++k) grid.at(i, j, k) = 1.0;
+    mesh::fold_grid_halo(grid, cart);
+
+    // Each global cell collects one contribution per covering *image* of
+    // every rank's extended region (interior + 1-cell ghost ring); with
+    // few ranks per axis the same rank can cover a cell through multiple
+    // periodic images (e.g. single-rank axes fold their own ghosts back).
+    auto coverage = [&](int gx, int gy, int gz) {
+      int count = 0;
+      for (int cx = 0; cx < cart.dims()[0]; ++cx)
+        for (int cy = 0; cy < cart.dims()[1]; ++cy)
+          for (int cz = 0; cz < cart.dims()[2]; ++cz) {
+            mesh::BrickDecomposition d2(
+                {n_global, n_global, n_global}, cart.dims(), {cx, cy, cz});
+            auto images = [&](int g, int axis) {
+              int n_img = 0;
+              for (int img = -1; img <= 1; ++img) {
+                const int local = g + img * n_global - d2.offset(axis);
+                if (local >= -1 && local <= d2.local_n(axis)) ++n_img;
+              }
+              return n_img;
+            };
+            count += images(gx, 0) * images(gy, 1) * images(gz, 2);
+          }
+      return count;
+    };
+    for (int i = 0; i < grid.nx(); ++i)
+      for (int j = 0; j < grid.ny(); ++j)
+        for (int k = 0; k < grid.nz(); ++k) {
+          const int expected = coverage(dec.offset(0) + i, dec.offset(1) + j,
+                                        dec.offset(2) + k);
+          ASSERT_DOUBLE_EQ(grid.at(i, j, k), expected)
+              << i << " " << j << " " << k;
+        }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, HaloRanks, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cosmology/neutrino_ic.hpp"
+#include "cosmology/zeldovich.hpp"
+#include "hybrid/hybrid_solver.hpp"
+
+namespace {
+
+using namespace v6d;
+
+struct HybridSetup {
+  double box = 100.0;
+  int nx = 6;
+  int nu = 8;
+  double a0 = 1.0 / 11.0;
+  cosmo::Params params = cosmo::Params::planck2015(0.4);
+
+  hybrid::HybridSolver make(bool with_nu = true) {
+    cosmo::PowerSpectrum ps(params);
+    cosmo::Background bg(params);
+
+    cosmo::ZeldovichOptions zopt;
+    zopt.particles_per_side = 12;
+    zopt.a_init = a0;
+    zopt.seed = 9;
+    auto ics = cosmo::zeldovich_ics(ps, box, zopt);
+
+    vlasov::PhaseSpace f;
+    if (with_nu) {
+      const double u_th =
+          cosmo::neutrino_thermal_velocity(params.m_nu_total_ev / 3.0);
+      cosmo::NeutrinoIcOptions nopt;
+      nopt.a_init = a0;
+      nopt.seed = 9;
+      auto fields = cosmo::neutrino_linear_fields(ps, box, nx, nopt);
+      vlasov::PhaseSpaceDims dims;
+      dims.nx = dims.ny = dims.nz = nx;
+      dims.nux = dims.nuy = dims.nuz = nu;
+      vlasov::PhaseSpaceGeometry geom;
+      geom.dx = geom.dy = geom.dz = box / nx;
+      geom.umax = nopt.umax_over_uth * u_th;
+      geom.dux = geom.duy = geom.duz = 2.0 * geom.umax / nu;
+      f = vlasov::PhaseSpace(dims, geom);
+      cosmo::initialize_neutrino_phase_space(f, params, u_th, fields.delta,
+                                             &fields.bulk_x, &fields.bulk_y,
+                                             &fields.bulk_z);
+    }
+    hybrid::HybridOptions opt;
+    opt.pm_grid = nx;
+    opt.treepm.theta = 0.6;
+    opt.treepm.eps_cells = 0.2;
+    return hybrid::HybridSolver(std::move(f), std::move(ics.particles), box,
+                                bg, opt);
+  }
+};
+
+TEST(HybridSolver, TotalMassConserved) {
+  HybridSetup setup;
+  auto solver = setup.make();
+  const double mass0 = solver.total_mass();
+  double a = setup.a0;
+  for (int s = 0; s < 3; ++s) {
+    const double a1 = solver.suggest_next_a(a, 0.02);
+    solver.step(a, a1);
+    a = a1;
+  }
+  EXPECT_NEAR(solver.total_mass(), mass0, 1e-3 * mass0);
+  EXPECT_GE(solver.neutrinos().min_interior(), 0.0f);
+}
+
+TEST(HybridSolver, CflControlKeepsShiftsBounded) {
+  HybridSetup setup;
+  auto solver = setup.make();
+  cosmo::Background bg(setup.params);
+  const double a1 = solver.suggest_next_a(setup.a0, 0.5);
+  const double shift = vlasov::max_position_shift(
+      solver.neutrinos(), bg.drift_factor(setup.a0, a1));
+  EXPECT_LE(shift, 0.9 + 1e-6);
+  EXPECT_GT(a1, setup.a0);
+}
+
+TEST(HybridSolver, NeutrinoDensityTracksCdmOnLargeScales) {
+  HybridSetup setup;
+  auto solver = setup.make();
+  double a = setup.a0;
+  for (int s = 0; s < 4; ++s) {
+    const double a1 = solver.suggest_next_a(a, 0.03);
+    solver.step(a, a1);
+    a = a1;
+  }
+  // Fig. 4 physics: the neutrino field correlates positively with CDM but
+  // with much lower contrast.
+  const auto& rho_nu = solver.nu_density();
+  const auto& rho_cdm = solver.cdm_density();
+  double mean_nu = 0.0, mean_cdm = 0.0;
+  const int n = setup.nx;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k) {
+        mean_nu += rho_nu.at(i, j, k);
+        mean_cdm += rho_cdm.at(i, j, k);
+      }
+  mean_nu /= n * n * n;
+  mean_cdm /= n * n * n;
+  double cov = 0.0, var_nu = 0.0, var_cdm = 0.0;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k) {
+        const double dn = rho_nu.at(i, j, k) / mean_nu - 1.0;
+        const double dc = rho_cdm.at(i, j, k) / mean_cdm - 1.0;
+        cov += dn * dc;
+        var_nu += dn * dn;
+        var_cdm += dc * dc;
+      }
+  const double corr = cov / std::sqrt(var_nu * var_cdm);
+  EXPECT_GT(corr, 0.3);  // traces CDM
+  // Much smoother than CDM: contrast ratio well below 1.
+  EXPECT_LT(std::sqrt(var_nu / var_cdm), 0.7);
+}
+
+TEST(HybridSolver, CdmOnlyModeRuns) {
+  HybridSetup setup;
+  auto solver = setup.make(/*with_nu=*/false);
+  const double mass0 = solver.total_mass();
+  solver.step(setup.a0, setup.a0 + 0.01);
+  EXPECT_NEAR(solver.total_mass(), mass0, 1e-12 * mass0);
+}
+
+TEST(HybridSolver, TimersAccumulatePerPart) {
+  HybridSetup setup;
+  auto solver = setup.make();
+  const double a1 = solver.suggest_next_a(setup.a0, 0.01);
+  solver.step(setup.a0, a1);
+  EXPECT_GT(solver.timers().total("vlasov"), 0.0);
+  EXPECT_GT(solver.timers().total("pm"), 0.0);
+  EXPECT_GT(solver.timers().total("tree"), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "io/pgm.hpp"
+#include "io/snapshot.hpp"
+#include "io/table_writer.hpp"
+
+namespace {
+
+using namespace v6d;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Snapshot, ParticlesRoundTrip) {
+  nbody::Particles p(100);
+  Xoshiro256 rng(44);
+  p.mass = 3.25;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.x[i] = rng.next_double();
+    p.y[i] = rng.next_double();
+    p.z[i] = rng.next_double();
+    p.ux[i] = rng.next_normal();
+    p.uy[i] = rng.next_normal();
+    p.uz[i] = rng.next_normal();
+    p.id[i] = i * 7;
+  }
+  const std::string path = temp_path("v6d_particles_test.bin");
+  ASSERT_TRUE(io::write_particles(path, p));
+  nbody::Particles q;
+  ASSERT_TRUE(io::read_particles(path, q));
+  ASSERT_EQ(q.size(), p.size());
+  EXPECT_DOUBLE_EQ(q.mass, p.mass);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_DOUBLE_EQ(q.x[i], p.x[i]);
+    EXPECT_DOUBLE_EQ(q.ux[i], p.ux[i]);
+    EXPECT_EQ(q.id[i], p.id[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, PhaseSpaceRoundTrip) {
+  vlasov::PhaseSpaceDims d;
+  d.nx = d.ny = d.nz = 3;
+  d.nux = d.nuy = d.nuz = 4;
+  vlasov::PhaseSpaceGeometry g;
+  g.dx = g.dy = g.dz = 2.0;
+  g.umax = 5.0;
+  g.dux = g.duy = g.duz = 2.5;
+  vlasov::PhaseSpace f(d, g);
+  Xoshiro256 rng(11);
+  for (int ix = 0; ix < d.nx; ++ix)
+    for (int iy = 0; iy < d.ny; ++iy)
+      for (int iz = 0; iz < d.nz; ++iz) {
+        float* blk = f.block(ix, iy, iz);
+        for (std::size_t v = 0; v < f.block_size(); ++v)
+          blk[v] = static_cast<float>(rng.next_double());
+      }
+  const std::string path = temp_path("v6d_ps_test.bin");
+  ASSERT_TRUE(io::write_phase_space(path, f));
+  vlasov::PhaseSpace h;
+  ASSERT_TRUE(io::read_phase_space(path, h));
+  EXPECT_EQ(h.dims().nx, 3);
+  EXPECT_EQ(h.dims().nuz, 4);
+  EXPECT_DOUBLE_EQ(h.geom().umax, 5.0);
+  for (int ix = 0; ix < d.nx; ++ix)
+    for (int iy = 0; iy < d.ny; ++iy)
+      for (int iz = 0; iz < d.nz; ++iz) {
+        const float* a = f.block(ix, iy, iz);
+        const float* b = h.block(ix, iy, iz);
+        for (std::size_t v = 0; v < f.block_size(); ++v)
+          ASSERT_EQ(a[v], b[v]);
+      }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RejectsWrongMagic) {
+  const std::string path = temp_path("v6d_bad_magic.bin");
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  const char junk[64] = "not a snapshot";
+  std::fwrite(junk, 1, sizeof(junk), fp);
+  std::fclose(fp);
+  nbody::Particles p;
+  EXPECT_FALSE(io::read_particles(path, p));
+  vlasov::PhaseSpace f;
+  EXPECT_FALSE(io::read_phase_space(path, f));
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, WritesValidHeaderAndPayload) {
+  diag::Map2D map;
+  map.nx = 4;
+  map.ny = 6;
+  map.values.assign(24, 0.0);
+  for (int i = 0; i < 24; ++i) map.values[static_cast<std::size_t>(i)] = i;
+  const std::string path = temp_path("v6d_map.pgm");
+  ASSERT_TRUE(io::write_pgm(path, map));
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(fp, nullptr);
+  char magic[3] = {};
+  ASSERT_EQ(std::fscanf(fp, "%2s", magic), 1);
+  EXPECT_STREQ(magic, "P5");
+  int w = 0, h = 0, maxval = 0;
+  ASSERT_EQ(std::fscanf(fp, "%d %d %d", &w, &h, &maxval), 3);
+  EXPECT_EQ(w, 6);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxval, 255);
+  std::fclose(fp);
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, CsvHasExpectedCells) {
+  diag::Map2D map;
+  map.nx = 2;
+  map.ny = 2;
+  map.values = {1.0, 2.0, 3.0, 4.0};
+  const std::string path = temp_path("v6d_map.csv");
+  ASSERT_TRUE(io::write_csv(path, map));
+  std::FILE* fp = std::fopen(path.c_str(), "r");
+  double a, b, c, d;
+  ASSERT_EQ(std::fscanf(fp, "%lf,%lf %lf,%lf", &a, &b, &c, &d), 4);
+  EXPECT_DOUBLE_EQ(a, 1.0);
+  EXPECT_DOUBLE_EQ(d, 4.0);
+  std::fclose(fp);
+  std::remove(path.c_str());
+}
+
+TEST(TableWriter, FormatsAlignedColumns) {
+  io::TableWriter table({"run", "nodes", "eff"});
+  table.row({"S2", "288", "96.0%"});
+  table.row({"H1024", "147456", "82.3%"});
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("run"), std::string::npos);
+  EXPECT_NE(out.find("147456"), std::string::npos);
+  EXPECT_NE(out.find("82.3%"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableWriter, NumberFormatting) {
+  EXPECT_EQ(io::TableWriter::fmt_pct(0.823), "82.3%");
+  EXPECT_EQ(io::TableWriter::fmt_pct(1.0, 0), "100%");
+  const std::string s = io::TableWriter::fmt(1234.5678, 3);
+  EXPECT_NE(s.find("1234"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cosmology/fermi_dirac.hpp"
+#include "vlasov/moments.hpp"
+
+namespace {
+
+using namespace v6d::vlasov;
+
+PhaseSpace make_ps(int nx, int nu, double umax) {
+  PhaseSpaceDims d;
+  d.nx = d.ny = d.nz = nx;
+  d.nux = d.nuy = d.nuz = nu;
+  PhaseSpaceGeometry g;
+  g.dx = g.dy = g.dz = 1.0;
+  g.umax = umax;
+  g.dux = g.duy = g.duz = 2.0 * umax / nu;
+  return PhaseSpace(d, g);
+}
+
+// Fill one cell with a discrete Maxwellian at bulk (bx,by,bz), sigma s.
+void fill_maxwellian(PhaseSpace& f, int ix, int iy, int iz, double n0,
+                     double bx, double by, double bz, double s) {
+  const auto& d = f.dims();
+  const auto& g = f.geom();
+  double sum = 0.0;
+  std::vector<double> w(f.block_size());
+  std::size_t v = 0;
+  for (int a = 0; a < d.nux; ++a)
+    for (int b = 0; b < d.nuy; ++b)
+      for (int c = 0; c < d.nuz; ++c, ++v) {
+        const double dx = g.ux(a) - bx, dy = g.uy(b) - by, dz = g.uz(c) - bz;
+        w[v] = std::exp(-(dx * dx + dy * dy + dz * dz) / (2.0 * s * s));
+        sum += w[v];
+      }
+  float* blk = f.block(ix, iy, iz);
+  for (v = 0; v < f.block_size(); ++v)
+    blk[v] = static_cast<float>(n0 * w[v] / (sum * g.du3()));
+}
+
+TEST(Moments, DensityOfDiscreteMaxwellianIsExact) {
+  auto f = make_ps(2, 12, 6.0);
+  fill_maxwellian(f, 0, 0, 0, 3.5, 0.0, 0.0, 0.0, 1.0);
+  fill_maxwellian(f, 1, 1, 1, 0.7, 0.5, -0.5, 0.2, 1.5);
+  v6d::mesh::Grid3D<double> rho(2, 2, 2);
+  compute_density(f, rho);
+  EXPECT_NEAR(rho.at(0, 0, 0), 3.5, 1e-5);
+  EXPECT_NEAR(rho.at(1, 1, 1), 0.7, 1e-6);
+  EXPECT_NEAR(rho.at(0, 1, 0), 0.0, 1e-12);
+}
+
+TEST(Moments, MeanVelocityRecoversBulkFlow) {
+  auto f = make_ps(2, 16, 8.0);
+  fill_maxwellian(f, 1, 0, 1, 1.0, 1.25, -0.75, 2.0, 1.0);
+  MomentFields m(2, 2, 2);
+  compute_moments(f, m);
+  EXPECT_NEAR(m.mean_ux.at(1, 0, 1), 1.25, 1e-3);
+  EXPECT_NEAR(m.mean_uy.at(1, 0, 1), -0.75, 1e-3);
+  EXPECT_NEAR(m.mean_uz.at(1, 0, 1), 2.0, 1e-3);
+  EXPECT_NEAR(m.speed(1, 0, 1),
+              std::sqrt(1.25 * 1.25 + 0.75 * 0.75 + 4.0), 1e-3);
+}
+
+TEST(Moments, DispersionRecoversSigma) {
+  auto f = make_ps(1, 20, 10.0);
+  const double sigma = 1.75;
+  fill_maxwellian(f, 0, 0, 0, 2.0, 0.0, 0.0, 0.0, sigma);
+  MomentFields m(1, 1, 1);
+  compute_moments(f, m);
+  EXPECT_NEAR(m.sigma(0, 0, 0), sigma, 0.02 * sigma);
+  // Isotropic: off-diagonal terms vanish.
+  EXPECT_NEAR(m.sigma_xy.at(0, 0, 0), 0.0, 1e-3);
+  EXPECT_NEAR(m.sigma_xz.at(0, 0, 0), 0.0, 1e-3);
+  EXPECT_NEAR(m.sigma_yz.at(0, 0, 0), 0.0, 1e-3);
+}
+
+TEST(Moments, DispersionUnaffectedByBulkFlow) {
+  auto f1 = make_ps(1, 20, 10.0);
+  auto f2 = make_ps(1, 20, 10.0);
+  fill_maxwellian(f1, 0, 0, 0, 1.0, 0.0, 0.0, 0.0, 1.2);
+  fill_maxwellian(f2, 0, 0, 0, 1.0, 2.0, 1.0, -1.0, 1.2);
+  MomentFields m1(1, 1, 1), m2(1, 1, 1);
+  compute_moments(f1, m1);
+  compute_moments(f2, m2);
+  EXPECT_NEAR(m1.sigma(0, 0, 0), m2.sigma(0, 0, 0), 5e-3);
+}
+
+TEST(Moments, FermiDiracDispersionMatchesQuadrature) {
+  // The velocity dispersion of the discretized FD profile must match the
+  // analytic rms/sqrt(3) (isotropic, per-axis).
+  const double u_th = 1.0;
+  auto f = make_ps(1, 24, 8.0 * u_th);
+  const auto& d = f.dims();
+  const auto& g = f.geom();
+  float* blk = f.block(0, 0, 0);
+  std::size_t v = 0;
+  for (int a = 0; a < d.nux; ++a)
+    for (int b = 0; b < d.nuy; ++b)
+      for (int c = 0; c < d.nuz; ++c, ++v) {
+        const double s = std::sqrt(g.ux(a) * g.ux(a) + g.uy(b) * g.uy(b) +
+                                   g.uz(c) * g.uz(c));
+        blk[v] = static_cast<float>(v6d::cosmo::fd_density(s, u_th));
+      }
+  MomentFields m(1, 1, 1);
+  compute_moments(f, m);
+  const double expected =
+      v6d::cosmo::fd_rms_speed(u_th) / std::sqrt(3.0);
+  // Velocity-cube truncation at 8 u_th clips a bit of the tail.
+  EXPECT_NEAR(m.sigma(0, 0, 0), expected, 0.05 * expected);
+}
+
+TEST(Moments, EmptyCellProducesZeros) {
+  auto f = make_ps(1, 4, 1.0);
+  MomentFields m(1, 1, 1);
+  compute_moments(f, m);
+  EXPECT_EQ(m.density.at(0, 0, 0), 0.0);
+  EXPECT_EQ(m.mean_ux.at(0, 0, 0), 0.0);
+  EXPECT_EQ(m.sigma(0, 0, 0), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/runner.hpp"
+#include "fft/fft3d.hpp"
+#include "fft/parallel_fft.hpp"
+
+namespace {
+
+using namespace v6d;
+using fft::cplx;
+
+std::vector<cplx> global_field(int n, unsigned seed) {
+  std::vector<cplx> x(static_cast<std::size_t>(n) * n * n);
+  unsigned state = seed;
+  for (auto& v : x) {
+    state = state * 1664525u + 1013904223u;
+    const double re = (state % 2000) / 1000.0 - 1.0;
+    state = state * 1664525u + 1013904223u;
+    const double im = (state % 2000) / 1000.0 - 1.0;
+    v = cplx(re, im);
+  }
+  return x;
+}
+
+class ParallelFftRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelFftRanks, MatchesSerialSpectrum) {
+  const int p = GetParam();
+  const int n = 16;
+  const auto field = global_field(n, 77);
+
+  // Serial reference.
+  auto serial = field;
+  fft::Fft3D serial_fft(n, n, n);
+  serial_fft.forward(serial.data());
+
+  comm::run(p, [&](comm::Communicator& comm) {
+    fft::ParallelFft3D pfft(comm, n);
+    std::vector<cplx> local(
+        static_cast<std::size_t>(pfft.local_nx()) * n * n);
+    for (int x = 0; x < pfft.local_nx(); ++x)
+      for (int y = 0; y < n; ++y)
+        for (int z = 0; z < n; ++z)
+          local[(static_cast<std::size_t>(x) * n + y) * n + z] =
+              field[(static_cast<std::size_t>(pfft.x_offset() + x) * n + y) *
+                        n +
+                    z];
+    pfft.forward(local);
+    double worst = 0.0;
+    pfft.for_each_mode(local, [&](int kx, int ky, int kz, cplx& v) {
+      const cplx ref =
+          serial[(static_cast<std::size_t>(kx) * n + ky) * n + kz];
+      worst = std::max(worst, std::abs(v - ref));
+    });
+    EXPECT_LT(worst, 1e-9);
+  });
+}
+
+TEST_P(ParallelFftRanks, RoundTripRestoresField) {
+  const int p = GetParam();
+  const int n = 12;  // non-divisible by most p: exercises remainder slabs
+  const auto field = global_field(n, 3);
+  comm::run(p, [&](comm::Communicator& comm) {
+    fft::ParallelFft3D pfft(comm, n);
+    std::vector<cplx> local(
+        static_cast<std::size_t>(pfft.local_nx()) * n * n);
+    for (int x = 0; x < pfft.local_nx(); ++x)
+      for (int y = 0; y < n; ++y)
+        for (int z = 0; z < n; ++z)
+          local[(static_cast<std::size_t>(x) * n + y) * n + z] =
+              field[(static_cast<std::size_t>(pfft.x_offset() + x) * n + y) *
+                        n +
+                    z];
+    pfft.forward(local);
+    pfft.inverse_normalized(local);
+    for (int x = 0; x < pfft.local_nx(); ++x)
+      for (int y = 0; y < n; ++y)
+        for (int z = 0; z < n; ++z) {
+          const cplx ref =
+              field[(static_cast<std::size_t>(pfft.x_offset() + x) * n + y) *
+                        n +
+                    z];
+          ASSERT_LT(
+              std::abs(local[(static_cast<std::size_t>(x) * n + y) * n + z] -
+                       ref),
+              1e-11);
+        }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelFftRanks,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(ParallelFft, CommVolumeGrowsWithRankCount) {
+  // The defining scaling property: per-rank alltoall volume ~ n^3/p, so
+  // total traffic stays ~ n^3 per transpose while latency count grows.
+  const int n = 16;
+  std::uint64_t bytes_2 = 0, bytes_4 = 0;
+  for (int p : {2, 4}) {
+    std::uint64_t total = 0;
+    std::mutex m;
+    comm::run(p, [&](comm::Communicator& comm) {
+      fft::ParallelFft3D pfft(comm, n);
+      std::vector<cplx> local(
+          static_cast<std::size_t>(pfft.local_nx()) * n * n,
+          cplx(1.0, 0.0));
+      comm.reset_traffic_counters();
+      pfft.forward(local);
+      std::lock_guard<std::mutex> lock(m);
+      total += comm.bytes_sent();
+    });
+    (p == 2 ? bytes_2 : bytes_4) = total;
+  }
+  EXPECT_GT(bytes_2, 0u);
+  // Total transpose traffic is roughly constant in p (each element moves
+  // once); allow generous slack for self-sends bookkeeping.
+  EXPECT_LT(bytes_4, bytes_2 * 3);
+  EXPECT_GT(bytes_4, bytes_2 / 3);
+}
+
+}  // namespace

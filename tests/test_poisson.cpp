@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gravity/poisson.hpp"
+
+namespace {
+
+using namespace v6d::gravity;
+using v6d::mesh::Grid3D;
+
+TEST(Poisson, SinusoidalDensityExactWithContinuumGreen) {
+  // rho = cos(k x) => phi = -prefactor cos(k x) / k^2 exactly for the
+  // continuum Green function (single mode, no discretization error).
+  const int n = 16;
+  const double box = 2.0 * M_PI;
+  PoissonSolver solver(n, box);
+  Grid3D<double> rho(n, n, n), phi(n, n, n);
+  const double k = 2.0;  // mode 2
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int l = 0; l < n; ++l)
+        rho.at(i, j, l) = std::cos(k * (i + 0.0) * box / n);
+  PoissonOptions opt;
+  opt.prefactor = 4.0 * M_PI;
+  solver.solve(rho, phi, opt);
+  for (int i = 0; i < n; ++i) {
+    const double expected = -4.0 * M_PI * std::cos(k * i * box / n) / (k * k);
+    EXPECT_NEAR(phi.at(i, 3, 5), expected, 1e-10) << i;
+  }
+}
+
+TEST(Poisson, MeanModeIsRemoved) {
+  const int n = 8;
+  PoissonSolver solver(n, 1.0);
+  Grid3D<double> rho(n, n, n), phi(n, n, n);
+  rho.fill(42.0);  // pure mean: potential must vanish
+  PoissonOptions opt;
+  solver.solve(rho, phi, opt);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k) EXPECT_NEAR(phi.at(i, j, k), 0.0, 1e-12);
+}
+
+TEST(Poisson, DiscreteGreenMatchesFdLaplacian) {
+  // With the discrete Green function, applying the 2nd-order 7-point
+  // Laplacian to phi must reproduce prefactor * (rho - mean) exactly.
+  const int n = 8;
+  const double box = 3.0;
+  const double h = box / n;
+  PoissonSolver solver(n, box);
+  Grid3D<double> rho(n, n, n), phi(n, n, n, 1);
+  unsigned state = 17;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k) {
+        state = state * 1664525u + 1013904223u;
+        rho.at(i, j, k) = (state % 1000) / 500.0 - 1.0;
+      }
+  const double mean = rho.sum_interior() / rho.interior_size();
+  PoissonOptions opt;
+  opt.green = GreenFunction::kDiscreteK2;
+  opt.prefactor = 2.5;
+  solver.solve(rho, phi, opt);
+  phi.fill_ghosts_periodic();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k) {
+        const double lap =
+            (phi.at(i + 1, j, k) + phi.at(i - 1, j, k) +
+             phi.at(i, j + 1, k) + phi.at(i, j - 1, k) +
+             phi.at(i, j, k + 1) + phi.at(i, j, k - 1) -
+             6.0 * phi.at(i, j, k)) /
+            (h * h);
+        ASSERT_NEAR(lap, 2.5 * (rho.at(i, j, k) - mean), 1e-9);
+      }
+}
+
+TEST(Poisson, SpectralForcesAreMinusGradPhi) {
+  const int n = 16;
+  const double box = 2.0 * M_PI;
+  PoissonSolver solver(n, box);
+  Grid3D<double> rho(n, n, n), gx(n, n, n), gy(n, n, n), gz(n, n, n);
+  const int m = 3;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k)
+        rho.at(i, j, k) = std::sin(m * j * box / n);
+  PoissonOptions opt;
+  opt.prefactor = 1.0;
+  solver.solve_forces(rho, gx, gy, gz, opt);
+  // phi = -sin(m y)/m^2; g = -grad phi => gy = cos(m y)/m.
+  for (int j = 0; j < n; ++j) {
+    EXPECT_NEAR(gy.at(2, j, 4), std::cos(m * j * box / n) / m, 1e-10);
+    EXPECT_NEAR(gx.at(2, j, 4), 0.0, 1e-10);
+    EXPECT_NEAR(gz.at(2, j, 4), 0.0, 1e-10);
+  }
+}
+
+TEST(Poisson, LongRangeFilterSuppressesHighK) {
+  // With the exp(-k^2 rs^2) filter, a high-k mode's potential is strongly
+  // suppressed while a low-k mode's is nearly untouched.
+  const int n = 32;
+  const double box = 1.0;
+  PoissonSolver solver(n, box);
+  Grid3D<double> rho(n, n, n), phi_full(n, n, n), phi_filtered(n, n, n);
+  const int m_low = 1, m_high = 12;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k)
+        rho.at(i, j, k) = std::cos(2.0 * M_PI * m_low * i / n) +
+                          std::cos(2.0 * M_PI * m_high * i / n);
+  PoissonOptions opt;
+  solver.solve(rho, phi_full, opt);
+  opt.longrange_split_rs = 2.0 * box / n;  // rs = 2 cells
+  solver.solve(rho, phi_filtered, opt);
+
+  // Project onto the two cosines to compare mode amplitudes.
+  auto amplitude = [&](const Grid3D<double>& f, int m) {
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i)
+      acc += f.at(i, 0, 0) * std::cos(2.0 * M_PI * m * i / n);
+    return 2.0 * acc / n;
+  };
+  // exp(-(k_low rs)^2) = exp(-(2 pi / 16)^2) ~ 0.857 for rs = 2 cells.
+  const double low_ratio =
+      amplitude(phi_filtered, m_low) / amplitude(phi_full, m_low);
+  const double high_ratio =
+      amplitude(phi_filtered, m_high) / amplitude(phi_full, m_high);
+  EXPECT_GT(low_ratio, 0.8);
+  EXPECT_LT(high_ratio, 0.05);
+}
+
+TEST(Poisson, CicDeconvolutionSharpens) {
+  // Deconvolution divides by |W|^2 < 1, so non-zero modes gain amplitude.
+  const int n = 16;
+  PoissonSolver solver(n, 1.0);
+  Grid3D<double> rho(n, n, n), phi_raw(n, n, n), phi_dec(n, n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k)
+        rho.at(i, j, k) = std::cos(2.0 * M_PI * 5 * i / n);
+  PoissonOptions opt;
+  solver.solve(rho, phi_raw, opt);
+  opt.deconvolve_order = 2;
+  solver.solve(rho, phi_dec, opt);
+  double max_raw = 0.0, max_dec = 0.0;
+  for (int i = 0; i < n; ++i) {
+    max_raw = std::max(max_raw, std::fabs(phi_raw.at(i, 0, 0)));
+    max_dec = std::max(max_dec, std::fabs(phi_dec.at(i, 0, 0)));
+  }
+  EXPECT_GT(max_dec, max_raw * 1.05);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gravity/tree.hpp"
+
+namespace {
+
+using namespace v6d::gravity;
+using v6d::nbody::Particles;
+
+Particles random_particles(std::size_t n, double box, std::uint64_t seed) {
+  Particles p(n);
+  v6d::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x[i] = rng.next_double() * box;
+    p.y[i] = rng.next_double() * box;
+    p.z[i] = rng.next_double() * box;
+    p.id[i] = i;
+  }
+  p.mass = 1.0 / static_cast<double>(n);
+  return p;
+}
+
+// Direct minimum-image summation reference.
+void direct_forces(const Particles& p, double box,
+                   const PpKernelParams& params, std::vector<double>& ax,
+                   std::vector<double>& ay, std::vector<double>& az) {
+  const std::size_t n = p.size();
+  ax.assign(n, 0.0);
+  ay.assign(n, 0.0);
+  az.assign(n, 0.0);
+  auto mi = [box](double d) {
+    if (d > 0.5 * box) return d - box;
+    if (d < -0.5 * box) return d + box;
+    return d;
+  };
+  const double eps2 = params.eps * params.eps;
+  for (std::size_t t = 0; t < n; ++t)
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == t) continue;
+      const double dx = mi(p.x[s] - p.x[t]);
+      const double dy = mi(p.y[s] - p.y[t]);
+      const double dz = mi(p.z[s] - p.z[t]);
+      const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+      const double r = std::sqrt(r2);
+      if (params.rcut > 0.0 && r > params.rcut) continue;
+      double f = p.mass / (r2 * r);
+      if (params.rs > 0.0) f *= shortrange_s(r / (2.0 * params.rs));
+      ax[t] += f * dx;
+      ay[t] += f * dy;
+      az[t] += f * dz;
+    }
+}
+
+TEST(BarnesHutTree, SmallThetaMatchesDirectSummation) {
+  const double box = 1.0;
+  const auto p = random_particles(300, box, 99);
+  PpKernelParams params;
+  params.eps = 0.01;
+  std::vector<double> dax, day, daz;
+  direct_forces(p, box, params, dax, day, daz);
+
+  BarnesHutTree tree(p, box, 8);
+  CutoffPoly poly(3.0, 12);
+  std::vector<double> tax, tay, taz;
+  tree.accelerations(p, params, poly, /*theta=*/0.1, /*use_simd=*/false, tax,
+                     tay, taz);
+  double rms_ref = 0.0, rms_err = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    rms_ref += dax[i] * dax[i] + day[i] * day[i] + daz[i] * daz[i];
+    const double ex = tax[i] - dax[i], ey = tay[i] - day[i],
+                 ez = taz[i] - daz[i];
+    rms_err += ex * ex + ey * ey + ez * ez;
+  }
+  EXPECT_LT(std::sqrt(rms_err / rms_ref), 2e-3);
+}
+
+TEST(BarnesHutTree, AccuracyDegradesGracefullyWithTheta) {
+  const double box = 1.0;
+  const auto p = random_particles(200, box, 7);
+  PpKernelParams params;
+  params.eps = 0.01;
+  std::vector<double> dax, day, daz;
+  direct_forces(p, box, params, dax, day, daz);
+  BarnesHutTree tree(p, box, 8);
+  CutoffPoly poly(3.0, 12);
+
+  // Monopole-only acceptance: expected rms force error grows steeply with
+  // the opening angle (a few 1e-4 at 0.2, percent-level at 0.5, tens of
+  // percent at the aggressive 0.9).
+  const double theta_values[] = {0.2, 0.5, 0.9};
+  const double bounds[] = {5e-3, 5e-2, 0.5};
+  for (int t = 0; t < 3; ++t) {
+    std::vector<double> tax, tay, taz;
+    tree.accelerations(p, params, poly, theta_values[t], false, tax, tay,
+                       taz);
+    double rms_ref = 0.0, rms_err = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      rms_ref += dax[i] * dax[i] + day[i] * day[i] + daz[i] * daz[i];
+      const double ex = tax[i] - dax[i], ey = tay[i] - day[i],
+                   ez = taz[i] - daz[i];
+      rms_err += ex * ex + ey * ey + ez * ez;
+    }
+    const double err = std::sqrt(rms_err / rms_ref);
+    EXPECT_LT(err, bounds[t]) << "theta " << theta_values[t];
+  }
+}
+
+TEST(BarnesHutTree, CutoffPruningMatchesDirectCutoff) {
+  const double box = 1.0;
+  const auto p = random_particles(250, box, 3);
+  PpKernelParams params;
+  params.eps = 0.005;
+  params.rs = 0.04;
+  params.rcut = 4.5 * params.rs;
+  std::vector<double> dax, day, daz;
+  direct_forces(p, box, params, dax, day, daz);
+  BarnesHutTree tree(p, box, 8);
+  CutoffPoly poly(params.rcut / (2.0 * params.rs), 14);
+  std::vector<double> tax, tay, taz;
+  TreeStats stats;
+  tree.accelerations(p, params, poly, 0.3, false, tax, tay, taz, &stats);
+  double rms_ref = 1e-30, rms_err = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    rms_ref += dax[i] * dax[i] + day[i] * day[i] + daz[i] * daz[i];
+    const double ex = tax[i] - dax[i], ey = tay[i] - day[i],
+                 ez = taz[i] - daz[i];
+    rms_err += ex * ex + ey * ey + ez * ez;
+  }
+  EXPECT_LT(std::sqrt(rms_err / rms_ref), 0.02);
+  // Pruning must make the interaction count far below N^2.
+  EXPECT_LT(stats.p2p_interactions, 250ull * 250ull / 2ull);
+}
+
+TEST(BarnesHutTree, SimdWalkMatchesScalarWalk) {
+  const double box = 1.0;
+  const auto p = random_particles(200, box, 21);
+  PpKernelParams params;
+  params.eps = 0.01;
+  params.rs = 0.05;
+  params.rcut = 4.5 * params.rs;
+  BarnesHutTree tree(p, box, 8);
+  CutoffPoly poly(params.rcut / (2.0 * params.rs), 14);
+  std::vector<double> sax, say, saz, vax, vay, vaz;
+  tree.accelerations(p, params, poly, 0.4, false, sax, say, saz);
+  tree.accelerations(p, params, poly, 0.4, true, vax, vay, vaz);
+  double norm = 1e-30;
+  for (std::size_t i = 0; i < p.size(); ++i)
+    norm = std::max({norm, std::fabs(sax[i]), std::fabs(say[i]),
+                     std::fabs(saz[i])});
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(vax[i], sax[i], 1e-3 * norm);
+    EXPECT_NEAR(vay[i], say[i], 1e-3 * norm);
+    EXPECT_NEAR(vaz[i], saz[i], 1e-3 * norm);
+  }
+}
+
+TEST(BarnesHutTree, TotalMassAndNodeBounds) {
+  const auto p = random_particles(500, 2.0, 5);
+  BarnesHutTree tree(p, 2.0, 16);
+  EXPECT_NEAR(tree.total_mass(), p.mass * 500.0, 1e-12);
+  EXPECT_GT(tree.node_count(), 8);
+  EXPECT_LT(tree.node_count(), 2 * 500);
+}
+
+TEST(BarnesHutTree, HandlesCoincidentParticles) {
+  // Degenerate input: many particles at one point must not recurse
+  // infinitely (depth cap) and must produce finite forces elsewhere.
+  Particles p(64);
+  for (std::size_t i = 0; i < 32; ++i) {
+    p.x[i] = p.y[i] = p.z[i] = 0.5;
+  }
+  v6d::Xoshiro256 rng(8);
+  for (std::size_t i = 32; i < 64; ++i) {
+    p.x[i] = rng.next_double();
+    p.y[i] = rng.next_double();
+    p.z[i] = rng.next_double();
+  }
+  p.mass = 1.0;
+  BarnesHutTree tree(p, 1.0, 2);
+  PpKernelParams params;
+  params.eps = 0.05;
+  CutoffPoly poly(3.0, 10);
+  std::vector<double> ax, ay, az;
+  tree.accelerations(p, params, poly, 0.5, false, ax, ay, az);
+  for (double v : ax) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vlasov/solver.hpp"
+
+namespace {
+
+using namespace v6d::vlasov;
+
+PhaseSpace make_ps(int nx, int nu, double box, double umax) {
+  PhaseSpaceDims d;
+  d.nx = d.ny = d.nz = nx;
+  d.nux = d.nuy = d.nuz = nu;
+  PhaseSpaceGeometry g;
+  g.dx = g.dy = g.dz = box / nx;
+  g.umax = umax;
+  g.dux = g.duy = g.duz = 2.0 * umax / nu;
+  return PhaseSpace(d, g);
+}
+
+void fill_jeans_perturbation(PhaseSpace& f, double box, double sigma,
+                             double amplitude) {
+  const auto& d = f.dims();
+  const auto& g = f.geom();
+  for (int ix = 0; ix < d.nx; ++ix)
+    for (int iy = 0; iy < d.ny; ++iy)
+      for (int iz = 0; iz < d.nz; ++iz) {
+        const double n =
+            1.0 + amplitude * std::cos(2.0 * M_PI * g.x(ix) / box);
+        float* blk = f.block(ix, iy, iz);
+        std::size_t v = 0;
+        double sum = 0.0;
+        std::vector<double> w(f.block_size());
+        for (int a = 0; a < d.nux; ++a)
+          for (int b = 0; b < d.nuy; ++b)
+            for (int c = 0; c < d.nuz; ++c, ++v) {
+              const double u2 = g.ux(a) * g.ux(a) + g.uy(b) * g.uy(b) +
+                                g.uz(c) * g.uz(c);
+              w[v] = std::exp(-u2 / (2.0 * sigma * sigma));
+              sum += w[v];
+            }
+        for (v = 0; v < f.block_size(); ++v)
+          blk[v] = static_cast<float>(n * w[v] / (sum * g.du3()));
+      }
+}
+
+TEST(VlasovSolver, MassConservedOverManySteps) {
+  auto f = make_ps(8, 8, 4.0, 1.0);
+  fill_jeans_perturbation(f, 4.0, 0.3, 0.05);
+  VlasovSolverOptions opt;
+  opt.four_pi_g = 1.0;
+  VlasovSolver solver(std::move(f), 4.0, opt);
+  const double mass0 = solver.phase_space().total_mass();
+  const double dt = 0.5 * solver.max_dt();
+  for (int s = 0; s < 5; ++s) solver.step(dt);
+  EXPECT_NEAR(solver.phase_space().total_mass(), mass0, 1e-4 * mass0);
+  EXPECT_GE(solver.phase_space().min_interior(), 0.0f);
+}
+
+TEST(VlasovSolver, StablePlasmaOscillationConservesEnergyScale) {
+  // A warm stable configuration: density stays bounded and positive.
+  auto f = make_ps(8, 10, 4.0, 1.5);
+  fill_jeans_perturbation(f, 4.0, 0.5, 0.1);
+  VlasovSolverOptions opt;
+  opt.four_pi_g = 0.5;
+  VlasovSolver solver(std::move(f), 4.0, opt);
+  const double dt = 0.4 * solver.max_dt();
+  double max_rho = 0.0;
+  for (int s = 0; s < 8; ++s) {
+    solver.step(dt);
+    for (int i = 0; i < 8; ++i)
+      max_rho = std::max(max_rho, solver.density().at(i, 0, 0));
+  }
+  EXPECT_LT(max_rho, 3.0);  // no blow-up
+}
+
+TEST(VlasovSolver, JeansInstabilityGrowsOverdensity) {
+  // Cold-ish distribution with strong gravity: the seeded mode must grow
+  // (gravitational instability), unlike the free-streaming case.
+  auto f_grav = make_ps(8, 10, 4.0, 0.8);
+  fill_jeans_perturbation(f_grav, 4.0, 0.08, 0.05);
+  VlasovSolverOptions opt;
+  opt.four_pi_g = 8.0;  // deep in the unstable regime
+  VlasovSolver grav(std::move(f_grav), 4.0, opt);
+
+  auto f_free = make_ps(8, 10, 4.0, 0.8);
+  fill_jeans_perturbation(f_free, 4.0, 0.08, 0.05);
+  VlasovSolverOptions opt_free = opt;
+  opt_free.self_gravity = false;
+  v6d::mesh::Grid3D<double> zero(8, 8, 8);
+  VlasovSolver free_stream(std::move(f_free), 4.0, opt_free);
+  free_stream.set_external_accel(&zero, &zero, &zero);
+
+  auto contrast = [](VlasovSolver& s) {
+    v6d::mesh::Grid3D<double> rho(8, 8, 8);
+    compute_density(s.phase_space(), rho);
+    double lo = 1e30, hi = -1e30;
+    for (int i = 0; i < 8; ++i)
+      for (int j = 0; j < 8; ++j)
+        for (int k = 0; k < 8; ++k) {
+          lo = std::min(lo, rho.at(i, j, k));
+          hi = std::max(hi, rho.at(i, j, k));
+        }
+    return (hi - lo) / (hi + lo);
+  };
+
+  const double c0 = contrast(grav);
+  const double dt = 0.3 * grav.max_dt();
+  for (int s = 0; s < 10; ++s) {
+    grav.step(dt);
+    free_stream.step(dt);
+  }
+  EXPECT_GT(contrast(grav), 1.5 * c0);       // gravity amplifies
+  EXPECT_LT(contrast(free_stream), 1.2 * c0);  // free streaming damps/keeps
+}
+
+TEST(VlasovSolver, MaxDtScalesWithGrid) {
+  auto f1 = make_ps(8, 8, 4.0, 1.0);
+  auto f2 = make_ps(16, 8, 4.0, 1.0);
+  VlasovSolverOptions opt;
+  VlasovSolver s1(std::move(f1), 4.0, opt), s2(std::move(f2), 4.0, opt);
+  // Halving dx halves the CFL-limited dt.
+  EXPECT_NEAR(s1.max_dt() / s2.max_dt(), 2.0, 1e-9);
+}
+
+}  // namespace
