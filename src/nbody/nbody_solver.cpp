@@ -45,26 +45,29 @@ void NBodySolver::compute_forces(double a) {
     gravity::CutoffPoly poly(options_.treepm.rcut_over_rs / 2.0,
                              options_.treepm.cutoff_poly_degree);
 
-    std::vector<double> tx(cdm_.size(), 0.0), ty(cdm_.size(), 0.0),
-        tz(cdm_.size(), 0.0);
+    scratch_x_.assign(cdm_.size(), 0.0);
+    scratch_y_.assign(cdm_.size(), 0.0);
+    scratch_z_.assign(cdm_.size(), 0.0);
     tree.accelerations(cdm_, params, poly, options_.treepm.theta,
-                       options_.treepm.use_simd, tx, ty, tz);
+                       options_.treepm.use_simd, scratch_x_, scratch_y_,
+                       scratch_z_);
     for (std::size_t i = 0; i < cdm_.size(); ++i) {
-      ax_[i] += g_pair * tx[i];
-      ay_[i] += g_pair * ty[i];
-      az_[i] += g_pair * tz[i];
+      ax_[i] += g_pair * scratch_x_[i];
+      ay_[i] += g_pair * scratch_y_[i];
+      az_[i] += g_pair * scratch_z_[i];
     }
     if (hot_ && options_.hot_species_feels_tree) {
-      std::vector<double> hx(hot_->size(), 0.0), hy(hot_->size(), 0.0),
-          hz(hot_->size(), 0.0);
+      scratch_x_.assign(hot_->size(), 0.0);
+      scratch_y_.assign(hot_->size(), 0.0);
+      scratch_z_.assign(hot_->size(), 0.0);
       tree.accumulate(hot_->x.data(), hot_->y.data(), hot_->z.data(),
                       hot_->size(), params, poly, options_.treepm.theta,
-                      options_.treepm.use_simd, hx.data(), hy.data(),
-                      hz.data());
+                      options_.treepm.use_simd, scratch_x_.data(),
+                      scratch_y_.data(), scratch_z_.data());
       for (std::size_t i = 0; i < hot_->size(); ++i) {
-        hax_[i] += g_pair * hx[i];
-        hay_[i] += g_pair * hy[i];
-        haz_[i] += g_pair * hz[i];
+        hax_[i] += g_pair * scratch_x_[i];
+        hay_[i] += g_pair * scratch_y_[i];
+        haz_[i] += g_pair * scratch_z_[i];
       }
     }
     timers_.add("tree", watch.seconds());

@@ -53,6 +53,7 @@ class NBodySolver {
   std::optional<Particles> hot_;
   std::vector<double> ax_, ay_, az_;        // CDM accelerations
   std::vector<double> hax_, hay_, haz_;     // hot-species accelerations
+  std::vector<double> scratch_x_, scratch_y_, scratch_z_;  // tree-walk scratch
   bool forces_fresh_ = false;
   TimerRegistry timers_;
 };

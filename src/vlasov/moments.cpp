@@ -7,7 +7,9 @@ namespace v6d::vlasov {
 void compute_density(const PhaseSpace& f, mesh::Grid3D<double>& rho) {
   const auto& d = f.dims();
   const double du3 = f.geom().du3();
+#ifdef _OPENMP
 #pragma omp parallel for collapse(2) schedule(static)
+#endif
   for (int ix = 0; ix < d.nx; ++ix)
     for (int iy = 0; iy < d.ny; ++iy)
       for (int iz = 0; iz < d.nz; ++iz) {
@@ -35,7 +37,9 @@ void compute_moments(const PhaseSpace& f, MomentFields& m) {
   const auto& d = f.dims();
   const auto& g = f.geom();
   const double du3 = g.du3();
+#ifdef _OPENMP
 #pragma omp parallel for collapse(2) schedule(static)
+#endif
   for (int ix = 0; ix < d.nx; ++ix)
     for (int iy = 0; iy < d.ny; ++iy)
       for (int iz = 0; iz < d.nz; ++iz) {

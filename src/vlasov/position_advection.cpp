@@ -28,11 +28,15 @@ void advect_position_axis(PhaseSpace& f, int axis, double drift_factor,
   const bool scalar = kernel == SweepKernel::kScalar;
   const double inv_dx_drift = drift_factor / dx;
 
+#ifdef _OPENMP
 #pragma omp parallel
+#endif
   {
     AdvectWorkspace ws;
     double xi_lanes[kLanes];
+#ifdef _OPENMP
 #pragma omp for collapse(2) schedule(static)
+#endif
     for (int t1 = 0; t1 < t1n; ++t1) {
       for (int t2 = 0; t2 < t2n; ++t2) {
         int ix = 0, iy = 0, iz = 0;

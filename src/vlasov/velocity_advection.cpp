@@ -25,10 +25,14 @@ void advect_velocity_axis(PhaseSpace& f, int axis,
   const int n = axis == 0 ? d.nux : axis == 1 ? d.nuy : d.nuz;
   const double dt_over_du = dt / du;
 
+#ifdef _OPENMP
 #pragma omp parallel
+#endif
   {
     AdvectWorkspace ws;
+#ifdef _OPENMP
 #pragma omp for collapse(2) schedule(static)
+#endif
     for (int ix = 0; ix < d.nx; ++ix) {
       for (int iy = 0; iy < d.ny; ++iy) {
         for (int iz = 0; iz < d.nz; ++iz) {

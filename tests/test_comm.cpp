@@ -182,8 +182,12 @@ TEST(CartTopology, ChooseDimsFactorizes) {
     EXPECT_GE(dims[0], dims[1]);
     EXPECT_GE(dims[1], dims[2]);
     // Near-cubic: max/min ratio bounded for highly composite counts.
-    if (p == 8) EXPECT_EQ(dims[0], 2);
-    if (p == 64) EXPECT_EQ(dims[0], 4);
+    if (p == 8) {
+      EXPECT_EQ(dims[0], 2);
+    }
+    if (p == 64) {
+      EXPECT_EQ(dims[0], 4);
+    }
   }
 }
 

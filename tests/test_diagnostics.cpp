@@ -68,7 +68,9 @@ TEST(Spectra, CrossCorrelationOfIdenticalFieldsIsUnity) {
   std::vector<SpectrumBin> bins;
   const auto r = cross_correlation(a, a, 10.0, &bins);
   for (std::size_t b = 0; b < r.size(); ++b)
-    if (bins[b].modes > 0) EXPECT_NEAR(r[b], 1.0, 1e-10);
+    if (bins[b].modes > 0) {
+      EXPECT_NEAR(r[b], 1.0, 1e-10);
+    }
 }
 
 TEST(Spectra, CrossCorrelationOfIndependentFieldsIsSmall) {
@@ -85,7 +87,9 @@ TEST(Spectra, CrossCorrelationOfIndependentFieldsIsSmall) {
   const auto r = cross_correlation(a, b, 10.0, &bins);
   // Mid-range bins have many modes: correlation should be < ~0.3.
   for (std::size_t q = 3; q < r.size() - 1; ++q)
-    if (bins[q].modes > 50) EXPECT_LT(std::fabs(r[q]), 0.35);
+    if (bins[q].modes > 50) {
+      EXPECT_LT(std::fabs(r[q]), 0.35);
+    }
 }
 
 TEST(Projections, ProjectionAveragesAlongZ) {
