@@ -10,6 +10,8 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "cosmology/neutrino_ic.hpp"
+#include "cosmology/zeldovich.hpp"
 #include "diagnostics/field_compare.hpp"
 #include "diagnostics/noise.hpp"
 #include "diagnostics/projections.hpp"

@@ -1,14 +1,14 @@
 // Shared cosmological-run setup for the figure benches (4, 5, 6, 8) and
-// the time-to-solution comparison.
+// the time-to-solution comparison — a thin adapter over the driver
+// subsystem's `neutrino_box` scenario, so the benches exercise the same
+// IC factory and stepping loop as `v6d run`.
 #pragma once
 
-#include <cstdio>
 #include <memory>
 
-#include "cosmology/neutrino_ic.hpp"
-#include "cosmology/zeldovich.hpp"
-#include "hybrid/hybrid_solver.hpp"
-#include "nbody/nbody_solver.hpp"
+#include "cosmology/fermi_dirac.hpp"
+#include "driver/driver.hpp"
+#include "driver/scenario.hpp"
 
 namespace v6d::bench {
 
@@ -27,66 +27,41 @@ struct HybridRunConfig {
 
 struct HybridRun {
   cosmo::Params params;
-  std::unique_ptr<hybrid::HybridSolver> solver;
+  std::unique_ptr<driver::Driver> driver;
+  hybrid::HybridSolver* solver = nullptr;  // owned by `driver`
   double u_th = 0.0;
   int steps_taken = 0;
 };
 
 inline HybridRun make_hybrid_run(const HybridRunConfig& cfg) {
+  driver::SimulationConfig dc;
+  dc.scenario = "neutrino_box";
+  dc.box = cfg.box;
+  dc.m_nu_ev = cfg.m_nu_ev;
+  dc.nx = cfg.nx;
+  dc.nu = cfg.nu;
+  dc.np = cfg.cdm_per_side;
+  dc.a_init = cfg.a_init;
+  dc.a_final = cfg.a_final;
+  dc.da_max = cfg.da_max;
+  dc.seed = cfg.seed;
+  dc.checkpoint_dir.clear();  // benches never checkpoint
+  dc.progress_every = cfg.verbose ? 10 : 0;
+
   HybridRun run;
   run.params = cosmo::Params::planck2015(cfg.m_nu_ev);
-  cosmo::PowerSpectrum ps(run.params);
-  cosmo::Background bg(run.params);
-
-  cosmo::ZeldovichOptions zopt;
-  zopt.particles_per_side = cfg.cdm_per_side;
-  zopt.a_init = cfg.a_init;
-  zopt.seed = cfg.seed;
-  auto ics = cosmo::zeldovich_ics(ps, cfg.box, zopt);
-
   run.u_th =
       cosmo::neutrino_thermal_velocity(run.params.m_nu_total_ev / 3.0);
-  cosmo::NeutrinoIcOptions nopt;
-  nopt.a_init = cfg.a_init;
-  nopt.seed = cfg.seed;
-  auto fields = cosmo::neutrino_linear_fields(ps, cfg.box, cfg.nx, nopt);
-
-  vlasov::PhaseSpaceDims dims;
-  dims.nx = dims.ny = dims.nz = cfg.nx;
-  dims.nux = dims.nuy = dims.nuz = cfg.nu;
-  vlasov::PhaseSpaceGeometry geom;
-  geom.dx = geom.dy = geom.dz = cfg.box / cfg.nx;
-  geom.umax = nopt.umax_over_uth * run.u_th;
-  geom.dux = geom.duy = geom.duz = 2.0 * geom.umax / cfg.nu;
-  vlasov::PhaseSpace f(dims, geom);
-  cosmo::initialize_neutrino_phase_space(f, run.params, run.u_th,
-                                         fields.delta, &fields.bulk_x,
-                                         &fields.bulk_y, &fields.bulk_z);
-
-  hybrid::HybridOptions opt;
-  opt.pm_grid = cfg.nx;
-  opt.treepm.theta = 0.6;
-  opt.treepm.eps_cells = 0.1;
-  run.solver = std::make_unique<hybrid::HybridSolver>(
-      std::move(f), std::move(ics.particles), cfg.box, bg, opt);
+  run.driver = std::make_unique<driver::Driver>(dc);
+  run.solver = &run.driver->solver();
   return run;
 }
 
 /// Evolve to a_final with CFL-limited steps; returns steps taken.
-inline int evolve(HybridRun& run, const HybridRunConfig& cfg) {
-  double a = cfg.a_init;
-  int steps = 0;
-  while (a < cfg.a_final - 1e-12) {
-    double a1 = run.solver->suggest_next_a(a, cfg.da_max);
-    a1 = std::min(a1, cfg.a_final);
-    run.solver->step(a, a1);
-    a = a1;
-    ++steps;
-    if (cfg.verbose && steps % 10 == 0)
-      std::printf("    ... a = %.3f (%d steps)\n", a, steps);
-  }
-  run.steps_taken = steps;
-  return steps;
+inline int evolve(HybridRun& run, const HybridRunConfig&) {
+  const auto result = run.driver->run();
+  run.steps_taken = result.steps;
+  return result.steps;
 }
 
 }  // namespace v6d::bench

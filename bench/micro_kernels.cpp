@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "fft/fft1d.hpp"
@@ -74,3 +75,28 @@ void BM_Fft1d(benchmark::State& state) {
 BENCHMARK(BM_Fft1d)->Arg(64)->Arg(128)->Arg(288)->Arg(97);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main) so every invocation also emits
+// machine-readable results: unless the caller picked their own
+// --benchmark_out, results land in BENCH_micro_kernels.json next to the
+// console table, seeding the perf trajectory across PRs.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0)
+      has_out = true;
+  std::string out_flag = "--benchmark_out=BENCH_micro_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "cosmology/neutrino_ic.hpp"
+#include "cosmology/zeldovich.hpp"
 #include "diagnostics/noise.hpp"
 #include "diagnostics/spectra.hpp"
 #include "hybrid_setup.hpp"

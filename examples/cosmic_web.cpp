@@ -35,7 +35,13 @@ mesh::Grid3D<double> density_of(const nbody::Particles& p, double box,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt(argc, argv);
+  const CliArgs cli = parse_cli(argc, argv);
+  if (cli.help) {
+    std::printf(
+        "usage: cosmic_web [np=20] [pm=20] [a_final=0.5] [box=150]\n");
+    return 0;
+  }
+  const Options& opt = cli.options;
   const int np = opt.get_int("np", 20);
   const int pm = opt.get_int("pm", 20);
   const double a_final = opt.get_double("a_final", 0.5);

@@ -4,17 +4,17 @@
 // Runs two simulations from the same realization — massless and massive
 // neutrinos — and prints the neutrino-induced suppression of matter
 // clustering (the observable signature future galaxy surveys target,
-// paper §3 and §8).
+// paper §3 and §8).  Both boxes are the driver registry's `neutrino_box`
+// scenario (mnu=0 degrades it to CDM-only on the same realization); the
+// stepping loop is driver::Driver — the same code path as `v6d run`.
 //
 //   ./examples/neutrino_box [mnu=0.4] [nx=8] [nu=10] [np=16] [a_final=0.5]
-#include <cmath>
 #include <cstdio>
 
 #include "common/options.hpp"
-#include "cosmology/neutrino_ic.hpp"
-#include "cosmology/zeldovich.hpp"
 #include "diagnostics/spectra.hpp"
-#include "hybrid/hybrid_solver.hpp"
+#include "driver/driver.hpp"
+#include "driver/scenario.hpp"
 
 using namespace v6d;
 
@@ -25,78 +25,43 @@ struct BoxResult {
   int steps = 0;
 };
 
-BoxResult run_box(double m_nu_ev, int nx, int nu, int np, double a_final,
-                  double box) {
-  const double a_init = 1.0 / 11.0;
-  cosmo::Params params = cosmo::Params::planck2015(m_nu_ev);
-  cosmo::PowerSpectrum ps(params);
-  cosmo::Background bg(params);
+BoxResult run_box(const Options& options, double m_nu_ev) {
+  driver::SimulationConfig cfg =
+      driver::make_config(options, "neutrino_box");
+  cfg.m_nu_ev = m_nu_ev;
+  cfg.checkpoint_dir.clear();  // diagnostics-only run
 
-  cosmo::ZeldovichOptions zopt;
-  zopt.particles_per_side = np;
-  zopt.a_init = a_init;
-  zopt.seed = 77;
-  auto ics = cosmo::zeldovich_ics(ps, box, zopt);
+  driver::Driver d(cfg);
+  const auto run = d.run();
 
-  vlasov::PhaseSpace f;
-  if (m_nu_ev > 0.0) {
-    const double u_th =
-        cosmo::neutrino_thermal_velocity(params.m_nu_total_ev / 3.0);
-    cosmo::NeutrinoIcOptions nopt;
-    nopt.a_init = a_init;
-    nopt.seed = 77;
-    auto fields = cosmo::neutrino_linear_fields(ps, box, nx, nopt);
-    vlasov::PhaseSpaceDims dims;
-    dims.nx = dims.ny = dims.nz = nx;
-    dims.nux = dims.nuy = dims.nuz = nu;
-    vlasov::PhaseSpaceGeometry geom;
-    geom.dx = geom.dy = geom.dz = box / nx;
-    geom.umax = nopt.umax_over_uth * u_th;
-    geom.dux = geom.duy = geom.duz = 2.0 * geom.umax / nu;
-    f = vlasov::PhaseSpace(dims, geom);
-    cosmo::initialize_neutrino_phase_space(f, params, u_th, fields.delta,
-                                           &fields.bulk_x, &fields.bulk_y,
-                                           &fields.bulk_z);
-  }
-
-  hybrid::HybridOptions opt;
-  opt.pm_grid = nx;
-  opt.treepm.theta = 0.6;
-  opt.treepm.eps_cells = 0.1;
-  hybrid::HybridSolver solver(std::move(f), std::move(ics.particles), box,
-                              bg, opt);
-  BoxResult result{mesh::Grid3D<double>(nx, nx, nx), 0};
-  double a = a_init;
-  while (a < a_final - 1e-12) {
-    double a1 = std::min(solver.suggest_next_a(a, 0.05), a_final);
-    solver.step(a, a1);
-    a = a1;
-    ++result.steps;
-  }
+  const int nx = cfg.nx;
+  BoxResult result{mesh::Grid3D<double>(nx, nx, nx), run.steps};
   for (int i = 0; i < nx; ++i)
     for (int j = 0; j < nx; ++j)
       for (int k = 0; k < nx; ++k)
-        result.cdm_density.at(i, j, k) = solver.cdm_density().at(i, j, k);
+        result.cdm_density.at(i, j, k) = d.solver().cdm_density().at(i, j, k);
   return result;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt(argc, argv);
-  const double m_nu = opt.get_double("mnu", 0.4);
-  const int nx = opt.get_int("nx", 8);
-  const int nu = opt.get_int("nu", 10);
-  const int np = opt.get_int("np", 16);
-  const double a_final = opt.get_double("a_final", 0.5);
-  const double box = 200.0;
+  CliArgs cli = parse_cli(argc, argv);
+  if (cli.help) {
+    std::printf(
+        "usage: neutrino_box [mnu=0.4] [nx=8] [nu=10] [np=16] "
+        "[a_final=0.5]\n");
+    return 0;
+  }
+  const double m_nu = cli.options.get_double("mnu", 0.4);
+  const double box = cli.options.get_double("box", 200.0);
 
   std::printf("neutrino_box: %g eV neutrinos vs massless, box %.0f Mpc/h\n",
               m_nu, box);
   std::printf("  running massless-neutrino reference ...\n");
-  const auto ref = run_box(0.0, nx, nu, np, a_final, box);
+  const auto ref = run_box(cli.options, 0.0);
   std::printf("  running M_nu = %g eV hybrid ...\n", m_nu);
-  const auto massive = run_box(m_nu, nx, nu, np, a_final, box);
+  const auto massive = run_box(cli.options, m_nu);
 
   const auto p_ref = diag::measure_power(ref.cdm_density, box);
   const auto p_mass = diag::measure_power(massive.cdm_density, box);

@@ -15,7 +15,12 @@
 using namespace v6d;
 
 int main(int argc, char** argv) {
-  Options opt(argc, argv);
+  const CliArgs cli = parse_cli(argc, argv);
+  if (cli.help) {
+    std::printf("usage: quickstart [nx=8] [nu=10] [steps=10]\n");
+    return 0;
+  }
+  const Options& opt = cli.options;
   const int nx = opt.get_int("nx", 8);
   const int nu = opt.get_int("nu", 10);
   const int steps = opt.get_int("steps", 10);

@@ -21,7 +21,12 @@
 using namespace v6d;
 
 int main(int argc, char** argv) {
-  Options opt(argc, argv);
+  const CliArgs cli = parse_cli(argc, argv);
+  if (cli.help) {
+    std::printf("usage: two_stream [nx=16] [nu=16] [steps=40]\n");
+    return 0;
+  }
+  const Options& opt = cli.options;
   const int nx = opt.get_int("nx", 16);
   const int nu = opt.get_int("nu", 16);
   const int steps = opt.get_int("steps", 40);

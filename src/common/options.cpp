@@ -3,16 +3,42 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace v6d {
 
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
 Options::Options(int argc, char** argv) {
+  *this = parse_cli(argc, argv).options;
+}
+
+CliArgs parse_cli(int argc, char** argv) {
+  CliArgs cli;
   for (int i = 1; i < argc; ++i) {
     const std::string token = argv[i];
+    if (token == "-h" || token == "--help") {
+      cli.help = true;
+      continue;
+    }
     const auto eq = token.find('=');
-    if (eq == std::string::npos || eq == 0) continue;
-    values_[token.substr(0, eq)] = token.substr(eq + 1);
+    if (eq == std::string::npos || eq == 0) {
+      cli.positional.push_back(token);
+      continue;
+    }
+    cli.options.set(token.substr(0, eq), token.substr(eq + 1));
   }
+  return cli;
 }
 
 std::string Options::get(const std::string& key, const std::string& def) const {
@@ -47,6 +73,52 @@ bool Options::has(const std::string& key) const {
 
 void Options::set(const std::string& key, const std::string& value) {
   values_[key] = value;
+}
+
+void Options::set_default(const std::string& key, const std::string& value) {
+  values_.emplace(key, value);
+}
+
+bool Options::load_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open config file: " + path;
+    return false;
+  }
+  std::string line, section;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line.erase(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[' && line.back() == ']') {
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error) {
+        std::ostringstream oss;
+        oss << path << ":" << lineno << ": expected 'key = value', got '"
+            << line << "'";
+        *error = oss.str();
+      }
+      return false;
+    }
+    std::string key = trim(line.substr(0, eq));
+    if (!section.empty()) key = section + "." + key;
+    set_default(key, trim(line.substr(eq + 1)));
+  }
+  return true;
+}
+
+std::vector<std::string> Options::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
 }
 
 bool quick_mode() {

@@ -1,12 +1,15 @@
-// Tiny key=value option parsing for examples and benches.
+// Tiny key=value option parsing for the driver CLI, examples and benches.
 //
 // Accepts "key=value" tokens on the command line plus environment-variable
 // fallbacks, so the bench harness can be run as-is or scaled via e.g.
-// `V6D_QUICK=1 ./bench/fig4_density_maps` without editing sources.
+// `V6D_QUICK=1 ./bench/fig4_density_maps` without editing sources.  The
+// driver subsystem layers INI-style config files underneath the same map:
+// precedence is command line > config file > environment > defaults.
 #pragma once
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace v6d {
 
@@ -24,10 +27,32 @@ class Options {
 
   bool has(const std::string& key) const;
   void set(const std::string& key, const std::string& value);
+  /// Insert only if the key is absent (lower-precedence source).
+  void set_default(const std::string& key, const std::string& value);
+
+  /// Load an INI-style config file: one `key = value` per line, `#`/`;`
+  /// comments, optional `[section]` headers prefixing keys as
+  /// `section.key`.  File values never override keys already present
+  /// (command-line overrides win).  Returns false if the file cannot be
+  /// opened or a non-blank line has no '='; *error describes the failure.
+  bool load_file(const std::string& path, std::string* error = nullptr);
+
+  /// All keys currently set, sorted (serialization / debugging).
+  std::vector<std::string> keys() const;
 
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// The one argv parser shared by the `v6d` CLI and every example/bench:
+/// `key=value` tokens populate `options`, `-h`/`--help` sets `help`, and
+/// anything else (config paths, subcommands) lands in `positional`.
+struct CliArgs {
+  Options options;
+  std::vector<std::string> positional;
+  bool help = false;
+};
+CliArgs parse_cli(int argc, char** argv);
 
 /// True when the harness should favour short runtimes (env V6D_QUICK=1).
 bool quick_mode();

@@ -79,6 +79,20 @@ void Xoshiro256::jump() {
   s_[3] = s3;
 }
 
+Xoshiro256::State Xoshiro256::state() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.have_cached_normal = have_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Xoshiro256::set_state(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  have_cached_normal_ = state.have_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 Xoshiro256 Xoshiro256::split() {
   Xoshiro256 child = *this;
   child.jump();

@@ -12,6 +12,14 @@ namespace v6d {
 
 class Xoshiro256 {
  public:
+  /// Full generator state, exposed so checkpoints can round-trip a stream
+  /// mid-sequence (the Box-Muller cache is part of the sequence).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
   explicit Xoshiro256(std::uint64_t seed);
 
   std::uint64_t next_u64();
@@ -24,6 +32,9 @@ class Xoshiro256 {
 
   /// 2^128 stream jump; used to derive independent per-object streams.
   void jump();
+
+  State state() const;
+  void set_state(const State& state);
 
  private:
   std::uint64_t s_[4];

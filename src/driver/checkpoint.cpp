@@ -1,0 +1,386 @@
+#include "driver/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+
+namespace v6d::driver {
+
+namespace {
+
+constexpr unsigned kVersion = 1;
+constexpr const char* kMagicToken = "v6d-checkpoint";
+constexpr const char* kMetaName = "meta";
+constexpr std::uint32_t kForcesMagic = 0x76364643;  // "v6FC"
+
+namespace fs = std::filesystem;
+
+std::string join(const std::string& dir, const std::string& name) {
+  return (fs::path(dir) / name).string();
+}
+
+void set_error(std::string* error, const std::string& message) {
+  if (error) *error = message;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* fp) const {
+    if (fp) std::fclose(fp);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <class T>
+bool write_raw(std::FILE* fp, const T* data, std::size_t count) {
+  return std::fwrite(data, sizeof(T), count, fp) == count;
+}
+template <class T>
+bool read_raw(std::FILE* fp, T* data, std::size_t count) {
+  return std::fread(data, sizeof(T), count, fp) == count;
+}
+
+io::SnapshotStatus write_forces(const std::string& path,
+                                const hybrid::HybridSolver::StepForces& sf) {
+  FilePtr fp(std::fopen(path.c_str(), "wb"));
+  if (!fp) return io::SnapshotStatus::kOpenFailed;
+  const std::uint32_t magic = kForcesMagic, version = kVersion;
+  const std::uint32_t fresh = sf.fresh ? 1 : 0;
+  const std::int32_t dims[4] = {sf.nu_ax.nx(), sf.nu_ax.ny(), sf.nu_ax.nz(),
+                                sf.nu_ax.ghost()};
+  const std::uint64_t n = sf.ax.size();
+  if (!write_raw(fp.get(), &magic, 1) || !write_raw(fp.get(), &version, 1) ||
+      !write_raw(fp.get(), &fresh, 1) || !write_raw(fp.get(), dims, 4) ||
+      !write_raw(fp.get(), &n, 1))
+    return io::SnapshotStatus::kWriteFailed;
+  for (const auto* grid : {&sf.nu_ax, &sf.nu_ay, &sf.nu_az})
+    if (!write_raw(fp.get(), grid->raw(), grid->raw_size()))
+      return io::SnapshotStatus::kWriteFailed;
+  for (const auto* v : {&sf.ax, &sf.ay, &sf.az})
+    if (!write_raw(fp.get(), v->data(), v->size()))
+      return io::SnapshotStatus::kWriteFailed;
+  return io::SnapshotStatus::kOk;
+}
+
+io::SnapshotStatus read_forces(const std::string& path,
+                               hybrid::HybridSolver::StepForces& sf) {
+  FilePtr fp(std::fopen(path.c_str(), "rb"));
+  if (!fp) return io::SnapshotStatus::kOpenFailed;
+  std::uint32_t magic = 0, version = 0, fresh = 0;
+  std::int32_t dims[4];
+  std::uint64_t n = 0;
+  if (!read_raw(fp.get(), &magic, 1)) return io::SnapshotStatus::kShortRead;
+  if (magic != kForcesMagic) return io::SnapshotStatus::kBadMagic;
+  if (!read_raw(fp.get(), &version, 1)) return io::SnapshotStatus::kShortRead;
+  if (version != kVersion) return io::SnapshotStatus::kVersionMismatch;
+  if (!read_raw(fp.get(), &fresh, 1) || !read_raw(fp.get(), dims, 4) ||
+      !read_raw(fp.get(), &n, 1))
+    return io::SnapshotStatus::kShortRead;
+  // Validate against corruption before allocating: bounded ghost count,
+  // overflow-safe grid volume, and the advertised sizes vs the file size.
+  constexpr std::uint64_t kMaxBytes = 1ULL << 40;
+  if (dims[0] < 0 || dims[1] < 0 || dims[2] < 0 || dims[3] < 0 ||
+      dims[3] > 16 || n > kMaxBytes / (3 * sizeof(double)))
+    return io::SnapshotStatus::kBadHeader;
+  std::uint64_t grid_bytes = sizeof(double);
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t extent =
+        static_cast<std::uint64_t>(dims[i]) + 2 * dims[3];
+    if (extent == 0) {
+      grid_bytes = 0;
+      break;
+    }
+    if (grid_bytes > kMaxBytes / extent)
+      return io::SnapshotStatus::kBadHeader;
+    grid_bytes *= extent;
+  }
+  const std::uint64_t header_bytes =
+      3 * sizeof(std::uint32_t) + 4 * sizeof(std::int32_t) +
+      sizeof(std::uint64_t);
+  const std::uint64_t payload_bytes =
+      3 * grid_bytes + 3 * n * sizeof(double);
+  const long pos = std::ftell(fp.get());
+  if (pos >= 0 && std::fseek(fp.get(), 0, SEEK_END) == 0) {
+    const long size = std::ftell(fp.get());
+    if (std::fseek(fp.get(), pos, SEEK_SET) != 0)
+      return io::SnapshotStatus::kShortRead;
+    if (size >= 0 &&
+        static_cast<std::uint64_t>(size) < header_bytes + payload_bytes)
+      return io::SnapshotStatus::kShortRead;
+  }
+  sf.fresh = fresh != 0;
+  sf.nu_ax = mesh::Grid3D<double>(dims[0], dims[1], dims[2], dims[3]);
+  sf.nu_ay = mesh::Grid3D<double>(dims[0], dims[1], dims[2], dims[3]);
+  sf.nu_az = mesh::Grid3D<double>(dims[0], dims[1], dims[2], dims[3]);
+  sf.ax.resize(static_cast<std::size_t>(n));
+  sf.ay.resize(static_cast<std::size_t>(n));
+  sf.az.resize(static_cast<std::size_t>(n));
+  for (auto* grid : {&sf.nu_ax, &sf.nu_ay, &sf.nu_az})
+    if (!read_raw(fp.get(), grid->raw(), grid->raw_size()))
+      return io::SnapshotStatus::kShortRead;
+  for (auto* v : {&sf.ax, &sf.ay, &sf.az})
+    if (!read_raw(fp.get(), v->data(), v->size()))
+      return io::SnapshotStatus::kShortRead;
+  return io::SnapshotStatus::kOk;
+}
+
+}  // namespace
+
+unsigned checkpoint_version() { return kVersion; }
+
+io::SnapshotStatus write_checkpoint(
+    const std::string& dir, const Checkpoint& meta_in,
+    const vlasov::PhaseSpace* f, const nbody::Particles* cdm,
+    const hybrid::HybridSolver::StepForces* forces, std::string* error) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    set_error(error, "cannot create checkpoint directory " + dir);
+    return io::SnapshotStatus::kOpenFailed;
+  }
+
+  // Step-tagged payload names: a new checkpoint never touches the files
+  // the current meta references, so the old checkpoint stays valid until
+  // the meta rename below commits the new one.  Each payload itself goes
+  // through tmp + rename so a same-step rewrite is also atomic.
+  Checkpoint meta = meta_in;
+  const std::string tag = std::to_string(meta.step);
+  const auto write_payload = [&](const std::string& name,
+                                 auto&& writer) -> io::SnapshotStatus {
+    const std::string path = join(dir, name);
+    const std::string tmp = path + ".tmp";
+    const auto status = writer(tmp);
+    if (status != io::SnapshotStatus::kOk) {
+      set_error(error, tmp);
+      return status;
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      set_error(error, path);
+      return io::SnapshotStatus::kWriteFailed;
+    }
+    return io::SnapshotStatus::kOk;
+  };
+
+  if (meta.has_phase_space) {
+    if (!f) {
+      set_error(error, "phase-space payload flagged but not supplied");
+      return io::SnapshotStatus::kWriteFailed;
+    }
+    meta.phase_space_file = "phase_space." + tag + ".bin";
+    const auto status =
+        write_payload(meta.phase_space_file, [&](const std::string& tmp) {
+          return io::write_phase_space(tmp, *f);
+        });
+    if (status != io::SnapshotStatus::kOk) return status;
+  }
+  if (meta.has_particles) {
+    if (!cdm) {
+      set_error(error, "particle payload flagged but not supplied");
+      return io::SnapshotStatus::kWriteFailed;
+    }
+    meta.particles_file = "particles." + tag + ".bin";
+    const auto status =
+        write_payload(meta.particles_file, [&](const std::string& tmp) {
+          return io::write_particles(tmp, *cdm);
+        });
+    if (status != io::SnapshotStatus::kOk) return status;
+  }
+  if (meta.has_forces) {
+    if (!forces) {
+      set_error(error, "force-cache payload flagged but not supplied");
+      return io::SnapshotStatus::kWriteFailed;
+    }
+    meta.forces_file = "forces." + tag + ".bin";
+    const auto status =
+        write_payload(meta.forces_file, [&](const std::string& tmp) {
+          return write_forces(tmp, *forces);
+        });
+    if (status != io::SnapshotStatus::kOk) return status;
+  }
+
+  const std::string meta_path = join(dir, kMetaName);
+  const std::string tmp_path = meta_path + ".tmp";
+  {
+    std::ofstream out(tmp_path);
+    if (!out) {
+      set_error(error, tmp_path);
+      return io::SnapshotStatus::kOpenFailed;
+    }
+    char buf[64];
+    out << kMagicToken << " " << kVersion << "\n";
+    std::snprintf(buf, sizeof(buf), "%.17g", meta.a);
+    out << "a=" << buf << "\n";
+    out << "step=" << meta.step << "\n";
+    for (int i = 0; i < 4; ++i) {
+      std::snprintf(buf, sizeof(buf), "%" PRIx64, meta.rng.s[i]);
+      out << "rng.s" << i << "=" << buf << "\n";
+    }
+    out << "rng.cached=" << (meta.rng.have_cached_normal ? 1 : 0) << "\n";
+    std::snprintf(buf, sizeof(buf), "%.17g", meta.rng.cached_normal);
+    out << "rng.normal=" << buf << "\n";
+    out << "phase_space_file=" << meta.phase_space_file << "\n";
+    out << "particles_file=" << meta.particles_file << "\n";
+    out << "forces_file=" << meta.forces_file << "\n";
+    for (const auto& [key, value] : meta.config.to_kv())
+      out << "cfg." << key << "=" << value << "\n";
+    out.flush();
+    if (!out) {
+      set_error(error, tmp_path);
+      return io::SnapshotStatus::kWriteFailed;
+    }
+  }
+  fs::rename(tmp_path, meta_path, ec);
+  if (ec) {
+    set_error(error, meta_path);
+    return io::SnapshotStatus::kWriteFailed;
+  }
+
+  // Garbage-collect payloads superseded by the meta that just landed
+  // (best-effort; leftovers are harmless).
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    const bool is_payload = name.rfind("phase_space.", 0) == 0 ||
+                            name.rfind("particles.", 0) == 0 ||
+                            name.rfind("forces.", 0) == 0;
+    if (is_payload && name != meta.phase_space_file &&
+        name != meta.particles_file && name != meta.forces_file)
+      fs::remove(entry.path(), ec);
+  }
+  return io::SnapshotStatus::kOk;
+}
+
+io::SnapshotStatus read_checkpoint_meta(const std::string& dir,
+                                        Checkpoint& meta,
+                                        std::string* error) {
+  const std::string meta_path = join(dir, kMetaName);
+  std::ifstream in(meta_path);
+  if (!in) {
+    set_error(error, meta_path);
+    return io::SnapshotStatus::kOpenFailed;
+  }
+  std::string magic;
+  unsigned version = 0;
+  if (!(in >> magic)) {
+    set_error(error, meta_path + ": empty meta");
+    return io::SnapshotStatus::kShortRead;
+  }
+  if (magic != kMagicToken) {
+    set_error(error, meta_path + ": not a v6d checkpoint");
+    return io::SnapshotStatus::kBadMagic;
+  }
+  if (!(in >> version)) {
+    set_error(error, meta_path + ": missing version");
+    return io::SnapshotStatus::kShortRead;
+  }
+  if (version != kVersion) {
+    std::ostringstream oss;
+    oss << meta_path << ": version " << version << ", expected " << kVersion;
+    set_error(error, oss.str());
+    return io::SnapshotStatus::kVersionMismatch;
+  }
+  in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+
+  std::map<std::string, std::string> fields, cfg_kv;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      set_error(error, meta_path + ": malformed line '" + line + "'");
+      return io::SnapshotStatus::kBadHeader;
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key.rfind("cfg.", 0) == 0)
+      cfg_kv[key.substr(4)] = value;
+    else
+      fields[key] = value;
+  }
+
+  for (const char* required :
+       {"a", "step", "rng.s0", "rng.s1", "rng.s2", "rng.s3", "rng.cached",
+        "rng.normal", "phase_space_file", "particles_file", "forces_file"}) {
+    if (!fields.count(required)) {
+      set_error(error,
+                meta_path + ": missing field '" + std::string(required) + "'");
+      return io::SnapshotStatus::kShortRead;
+    }
+  }
+
+  meta.a = std::strtod(fields["a"].c_str(), nullptr);
+  meta.step = std::strtoll(fields["step"].c_str(), nullptr, 10);
+  for (int i = 0; i < 4; ++i)
+    meta.rng.s[i] = std::strtoull(
+        fields["rng.s" + std::to_string(i)].c_str(), nullptr, 16);
+  meta.rng.have_cached_normal = fields["rng.cached"] == "1";
+  meta.rng.cached_normal = std::strtod(fields["rng.normal"].c_str(), nullptr);
+  meta.phase_space_file = fields["phase_space_file"];
+  meta.particles_file = fields["particles_file"];
+  meta.forces_file = fields["forces_file"];
+  // Reject path traversal: payload names must be plain file names inside
+  // the checkpoint directory.
+  for (const auto* name :
+       {&meta.phase_space_file, &meta.particles_file, &meta.forces_file})
+    if (name->find('/') != std::string::npos ||
+        name->find("..") != std::string::npos) {
+      set_error(error, meta_path + ": payload name escapes the directory");
+      return io::SnapshotStatus::kBadHeader;
+    }
+  meta.has_phase_space = !meta.phase_space_file.empty();
+  meta.has_particles = !meta.particles_file.empty();
+  meta.has_forces = !meta.forces_file.empty();
+  meta.config = SimulationConfig::from_kv(cfg_kv);
+  return io::SnapshotStatus::kOk;
+}
+
+io::SnapshotStatus read_checkpoint_payload(
+    const std::string& dir, const Checkpoint& meta, vlasov::PhaseSpace* f,
+    nbody::Particles* cdm, hybrid::HybridSolver::StepForces* forces,
+    std::string* error) {
+  if (meta.has_phase_space) {
+    if (!f) {
+      set_error(error, "phase-space payload flagged but no destination");
+      return io::SnapshotStatus::kBadHeader;
+    }
+    const std::string path = join(dir, meta.phase_space_file);
+    const auto status = io::read_phase_space(path, *f);
+    if (status != io::SnapshotStatus::kOk) {
+      set_error(error, path);
+      return status;
+    }
+  }
+  if (meta.has_particles) {
+    if (!cdm) {
+      set_error(error, "particle payload flagged but no destination");
+      return io::SnapshotStatus::kBadHeader;
+    }
+    const std::string path = join(dir, meta.particles_file);
+    const auto status = io::read_particles(path, *cdm);
+    if (status != io::SnapshotStatus::kOk) {
+      set_error(error, path);
+      return status;
+    }
+  }
+  if (meta.has_forces) {
+    if (!forces) {
+      set_error(error, "force-cache payload flagged but no destination");
+      return io::SnapshotStatus::kBadHeader;
+    }
+    const std::string path = join(dir, meta.forces_file);
+    const auto status = read_forces(path, *forces);
+    if (status != io::SnapshotStatus::kOk) {
+      set_error(error, path);
+      return status;
+    }
+  }
+  return io::SnapshotStatus::kOk;
+}
+
+}  // namespace v6d::driver

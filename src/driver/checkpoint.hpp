@@ -1,0 +1,73 @@
+// Versioned checkpoint/restart for driver runs.
+//
+// A checkpoint is a directory:
+//   meta           text header: format version, scale factor, step count,
+//                  RNG state, payload flags, and the full config echo
+//                  (doubles as %.17g, so the round-trip is exact)
+//   phase_space.<step>.bin / particles.<step>.bin
+//                  io::snapshot payloads (file names recorded in the meta)
+//   forces.<step>.bin
+//                  the solver's step-boundary force cache — accelerations
+//                  evaluated from the post-drift state, which the next
+//                  step's leading kick reuses; recomputing them from the
+//                  post-kick f matches only to rounding, so restart would
+//                  not be bit-identical without them
+//
+// Atomicity: payloads carry the step in their names, so writing a new
+// checkpoint into the same directory never touches the files the current
+// meta references; the meta (written last, via a tmp-file rename) is the
+// single commit point.  A run killed mid-checkpoint therefore leaves the
+// previous checkpoint fully intact — never a torn one.  Superseded
+// payloads are garbage-collected after the meta lands.  Restarting
+// rebuilds the solver from the echoed config, overwrites its state from
+// the payloads, and continues bit-identically with the uninterrupted run
+// (tests/test_driver.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "driver/config.hpp"
+#include "hybrid/hybrid_solver.hpp"
+#include "io/snapshot.hpp"
+#include "nbody/particles.hpp"
+#include "vlasov/phase_space.hpp"
+
+namespace v6d::driver {
+
+struct Checkpoint {
+  SimulationConfig config;
+  double a = 0.0;
+  std::int64_t step = 0;
+  Xoshiro256::State rng;
+  bool has_phase_space = false;
+  bool has_particles = false;
+  bool has_forces = false;
+  /// Payload file names inside the checkpoint directory; filled in by
+  /// write_checkpoint and read back from the meta.
+  std::string phase_space_file, particles_file, forces_file;
+};
+
+/// Format version written by this build.
+unsigned checkpoint_version();
+
+/// Write `meta` plus the payloads it flags into `dir` (created if needed).
+/// On failure *error names the offending file.
+io::SnapshotStatus write_checkpoint(
+    const std::string& dir, const Checkpoint& meta,
+    const vlasov::PhaseSpace* f, const nbody::Particles* cdm,
+    const hybrid::HybridSolver::StepForces* forces,
+    std::string* error = nullptr);
+
+io::SnapshotStatus read_checkpoint_meta(const std::string& dir,
+                                        Checkpoint& meta,
+                                        std::string* error = nullptr);
+
+/// Read the payloads flagged in `meta` into the supplied containers.
+io::SnapshotStatus read_checkpoint_payload(
+    const std::string& dir, const Checkpoint& meta, vlasov::PhaseSpace* f,
+    nbody::Particles* cdm, hybrid::HybridSolver::StepForces* forces,
+    std::string* error = nullptr);
+
+}  // namespace v6d::driver

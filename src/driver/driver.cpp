@@ -1,0 +1,155 @@
+#include "driver/driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "driver/checkpoint.hpp"
+#include "driver/scenario.hpp"
+
+namespace v6d::driver {
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kFinished:
+      return "finished";
+    case StopReason::kMaxSteps:
+      return "max-steps";
+    case StopReason::kWallBudget:
+      return "wall-budget";
+  }
+  return "unknown";
+}
+
+Driver::Driver(const SimulationConfig& cfg) : Driver(cfg, /*with_ics=*/true) {}
+
+Driver::Driver(const SimulationConfig& cfg, bool with_ics)
+    : cfg_(cfg), rng_(cfg.seed), a_(cfg.a_init) {
+  const Scenario* scenario = find_scenario(cfg_.scenario);
+  if (!scenario)
+    throw std::invalid_argument("unknown scenario: " + cfg_.scenario);
+  solver_ = scenario->build(cfg_, with_ics);
+}
+
+Driver Driver::resume(const std::string& dir, const Options& overrides) {
+  Checkpoint meta;
+  std::string detail;
+  auto status = read_checkpoint_meta(dir, meta, &detail);
+  if (status != io::SnapshotStatus::kOk)
+    throw std::runtime_error("cannot read checkpoint meta (" +
+                             std::string(io::to_string(status)) +
+                             "): " + detail);
+  // Apply only keys the caller set explicitly.  A plain apply() would let
+  // stray V6D_* environment variables override the checkpointed config
+  // for every key the caller left alone — silently breaking bit-identical
+  // continuation.  The checkpoint echo outranks the environment.
+  auto kv = meta.config.to_kv();
+  for (const auto& key : overrides.keys())
+    kv[key] = overrides.get(key, "");
+  meta.config = SimulationConfig::from_kv(kv);
+
+  Driver driver(meta.config, /*with_ics=*/false);
+
+  // The scenario rebuild fixes the expected shapes; the payload must
+  // agree or the config was overridden incompatibly.
+  const auto expected_dims = driver.solver_->neutrinos().dims();
+  hybrid::HybridSolver::StepForces forces;
+  status = read_checkpoint_payload(dir, meta, &driver.solver_->neutrinos(),
+                                   &driver.solver_->cdm(), &forces, &detail);
+  if (status != io::SnapshotStatus::kOk)
+    throw std::runtime_error("cannot read checkpoint payload (" +
+                             std::string(io::to_string(status)) +
+                             "): " + detail);
+  if (meta.has_forces && !driver.solver_->import_step_forces(forces))
+    throw std::runtime_error(
+        "checkpoint force cache does not match the configured scenario "
+        "shape (physics keys must not change across a resume)");
+  const auto& dims = driver.solver_->neutrinos().dims();
+  if (dims.nx != expected_dims.nx || dims.ny != expected_dims.ny ||
+      dims.nz != expected_dims.nz || dims.nux != expected_dims.nux ||
+      dims.nuy != expected_dims.nuy || dims.nuz != expected_dims.nuz ||
+      dims.ghost != expected_dims.ghost)
+    throw std::runtime_error(
+        "checkpoint phase space does not match the configured scenario "
+        "shape (physics keys must not change across a resume)");
+
+  driver.a_ = meta.a;
+  driver.steps_ = meta.step;
+  driver.rng_.set_state(meta.rng);
+  return driver;
+}
+
+void Driver::write_checkpoint(const std::string& dir) const {
+  Checkpoint meta;
+  meta.config = cfg_;
+  meta.a = a_;
+  meta.step = steps_;
+  meta.rng = rng_.state();
+  meta.has_phase_space = solver_->neutrinos().dims().total_interior() > 0;
+  meta.has_particles = solver_->cdm().size() > 0;
+  const auto forces = solver_->export_step_forces();
+  meta.has_forces = forces.fresh;
+  std::string detail;
+  const auto status = driver::write_checkpoint(
+      dir, meta, meta.has_phase_space ? &solver_->neutrinos() : nullptr,
+      meta.has_particles ? &solver_->cdm() : nullptr,
+      meta.has_forces ? &forces : nullptr, &detail);
+  if (status != io::SnapshotStatus::kOk)
+    throw std::runtime_error("cannot write checkpoint (" +
+                             std::string(io::to_string(status)) +
+                             "): " + detail);
+}
+
+RunResult Driver::run() {
+  Stopwatch wall;
+  RunResult result;
+  const auto stop_with_checkpoint = [&](StopReason reason) {
+    result.reason = reason;
+    if (!cfg_.checkpoint_dir.empty()) {
+      ScopedTimer t(timers_, "checkpoint-io");
+      write_checkpoint(cfg_.checkpoint_dir);
+      result.checkpoint = cfg_.checkpoint_dir;
+    }
+  };
+
+  while (a_ < cfg_.a_final - 1e-12) {
+    if (cfg_.max_steps > 0 && steps_ >= cfg_.max_steps) {
+      stop_with_checkpoint(StopReason::kMaxSteps);
+      break;
+    }
+    if (cfg_.wall_budget_s > 0.0 && wall.seconds() >= cfg_.wall_budget_s) {
+      stop_with_checkpoint(StopReason::kWallBudget);
+      break;
+    }
+
+    double a1;
+    {
+      ScopedTimer t(timers_, "step-control");
+      a1 = std::min(solver_->suggest_next_a(a_, cfg_.da_max), cfg_.a_final);
+    }
+    {
+      ScopedTimer t(timers_, "step");
+      solver_->step(a_, a1);
+    }
+    a_ = a1;
+    ++steps_;
+    ++result.steps;
+
+    if (cfg_.progress_every > 0 && steps_ % cfg_.progress_every == 0)
+      std::printf("  [%s] step %lld  a = %.4f\n", cfg_.scenario.c_str(),
+                  static_cast<long long>(steps_), a_);
+
+    if (cfg_.checkpoint_every > 0 && !cfg_.checkpoint_dir.empty() &&
+        steps_ % cfg_.checkpoint_every == 0) {
+      ScopedTimer t(timers_, "checkpoint-io");
+      write_checkpoint(cfg_.checkpoint_dir);
+      result.checkpoint = cfg_.checkpoint_dir;
+    }
+  }
+
+  result.a = a_;
+  result.total_steps = steps_;
+  return result;
+}
+
+}  // namespace v6d::driver

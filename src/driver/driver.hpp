@@ -1,0 +1,82 @@
+// The simulation driver: the application-layer run loop every example and
+// bench used to hand-roll.
+//
+// A Driver owns one scenario-built HybridSolver and advances it with
+// CFL-adaptive steps (HybridSolver::suggest_next_a) until the target
+// epoch, a step budget, or a wall-clock budget is hit.  Per-phase wall
+// time accumulates into the driver's TimerRegistry ("step",
+// "step-control", "checkpoint-io") alongside the solver's own buckets
+// (vlasov / pm / tree) — the paper's end-to-end timing includes snapshot
+// I/O (§7.2), so checkpoint writes are timed like any other phase.
+//
+// Checkpoints (periodic or on early stop) capture everything the run loop
+// needs — phase space, particles, RNG state, scale factor, step count,
+// and the full config — so a killed run resumed with Driver::resume
+// continues bit-identically with the uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "driver/config.hpp"
+#include "hybrid/hybrid_solver.hpp"
+
+namespace v6d::driver {
+
+enum class StopReason { kFinished, kMaxSteps, kWallBudget };
+const char* to_string(StopReason reason);
+
+struct RunResult {
+  StopReason reason = StopReason::kFinished;
+  double a = 0.0;           // scale factor reached
+  int steps = 0;            // steps taken by this run() call
+  std::int64_t total_steps = 0;  // including steps before a resume
+  std::string checkpoint;   // last checkpoint dir written ("" if none)
+};
+
+class Driver {
+ public:
+  /// Build a fresh run from `cfg` (use make_config to layer scenario
+  /// defaults under file/CLI overrides first).  Throws
+  /// std::invalid_argument for an unknown scenario name.
+  explicit Driver(const SimulationConfig& cfg);
+
+  /// Rebuild a killed run from a checkpoint directory.  `overrides` may
+  /// adjust driver-control keys (a_final, max_steps, wall_budget_s,
+  /// checkpoint cadence); physics keys must stay untouched for the
+  /// continuation to remain bit-identical.  Throws std::runtime_error on
+  /// unreadable/corrupt checkpoints or config/payload shape mismatches.
+  static Driver resume(const std::string& dir,
+                       const Options& overrides = Options());
+
+  /// Advance until a_final / max_steps / wall budget.  Early stops write
+  /// a checkpoint to config().checkpoint_dir (when non-empty) so the run
+  /// is resumable by construction.
+  RunResult run();
+
+  /// Write a checkpoint of the current state to `dir`.
+  /// Throws std::runtime_error on I/O failure.
+  void write_checkpoint(const std::string& dir) const;
+
+  hybrid::HybridSolver& solver() { return *solver_; }
+  const hybrid::HybridSolver& solver() const { return *solver_; }
+  const SimulationConfig& config() const { return cfg_; }
+  double scale_factor() const { return a_; }
+  std::int64_t step_count() const { return steps_; }
+  TimerRegistry& timers() { return timers_; }
+
+ private:
+  Driver(const SimulationConfig& cfg, bool with_ics);
+
+  SimulationConfig cfg_;
+  std::unique_ptr<hybrid::HybridSolver> solver_;
+  Xoshiro256 rng_;
+  double a_ = 0.0;
+  std::int64_t steps_ = 0;
+  TimerRegistry timers_;
+};
+
+}  // namespace v6d::driver

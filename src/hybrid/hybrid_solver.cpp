@@ -220,6 +220,37 @@ double HybridSolver::suggest_next_a(double a0, double da_max) const {
   return a1;
 }
 
+HybridSolver::StepForces HybridSolver::export_step_forces() const {
+  StepForces forces;
+  forces.fresh = forces_fresh_;
+  if (!forces_fresh_) return forces;
+  forces.nu_ax = nu_ax_;
+  forces.nu_ay = nu_ay_;
+  forces.nu_az = nu_az_;
+  forces.ax = ax_;
+  forces.ay = ay_;
+  forces.az = az_;
+  return forces;
+}
+
+bool HybridSolver::import_step_forces(const StepForces& forces) {
+  if (!forces.fresh) {
+    forces_fresh_ = false;
+    return true;
+  }
+  if (forces.nu_ax.nx() != nu_ax_.nx() || forces.nu_ax.ny() != nu_ax_.ny() ||
+      forces.nu_ax.nz() != nu_ax_.nz() || forces.ax.size() != cdm_.size())
+    return false;
+  nu_ax_ = forces.nu_ax;
+  nu_ay_ = forces.nu_ay;
+  nu_az_ = forces.nu_az;
+  ax_ = forces.ax;
+  ay_ = forces.ay;
+  az_ = forces.az;
+  forces_fresh_ = true;
+  return true;
+}
+
 double HybridSolver::total_mass() const {
   double mass = cdm_.mass * static_cast<double>(cdm_.size());
   if (has_nu_) mass += f_.total_mass();

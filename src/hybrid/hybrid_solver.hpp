@@ -73,6 +73,22 @@ class HybridSolver {
   TimerRegistry& timers() { return timers_; }
   static double poisson_prefactor(double a) { return 1.5 / a; }
 
+  /// The step-boundary force cache: accelerations computed from the
+  /// post-drift state at the end of the last step and reused by the next
+  /// step's leading kick.  Checkpoints must carry it — recomputing from
+  /// the post-kick f reproduces it only to rounding (velocity sweeps
+  /// conserve the density moment approximately), which would break
+  /// bit-identical restart.
+  struct StepForces {
+    bool fresh = false;
+    mesh::Grid3D<double> nu_ax, nu_ay, nu_az;  // Vlasov-grid accelerations
+    std::vector<double> ax, ay, az;            // particle accelerations
+  };
+  StepForces export_step_forces() const;
+  /// Restore a cache exported from an identically configured solver;
+  /// returns false (and leaves the cache stale) on shape mismatch.
+  bool import_step_forces(const StepForces& forces);
+
  private:
   void compute_forces(double a);
   void deposit_nu_density();

@@ -1,8 +1,15 @@
 // Binary snapshot / checkpoint files for particles and phase space.
 //
 // Format: fixed little-endian header (magic, version, payload dims)
-// followed by raw arrays.  The paper's end-to-end timing includes I/O
-// (§7.2); the TTS bench writes these snapshots for the same reason.
+// followed by raw arrays.  The paper's end-to-end timing includes snapshot
+// I/O (§7.2); the TTS bench writes these snapshots for the same reason,
+// and the driver subsystem builds its checkpoint/restart on them.
+//
+// Readers validate the header before touching the payload and report what
+// went wrong: a truncated file (kShortRead) is distinguishable from a file
+// written by a different format version (kVersionMismatch) or a corrupted
+// header (kBadMagic / kBadHeader), so restart tooling can tell "retry the
+// previous checkpoint" apart from "wrong file entirely".
 #pragma once
 
 #include <string>
@@ -12,11 +19,30 @@
 
 namespace v6d::io {
 
-bool write_particles(const std::string& path,
-                     const nbody::Particles& particles);
-bool read_particles(const std::string& path, nbody::Particles& particles);
+enum class SnapshotStatus {
+  kOk = 0,
+  kOpenFailed,       // file missing / unreadable / uncreatable
+  kBadMagic,         // header present but not a snapshot of this kind
+  kVersionMismatch,  // recognized file, unsupported format version
+  kBadHeader,        // dims/counts fail validation (corrupt or hostile)
+  kShortRead,        // header OK but the payload is truncated
+  kWriteFailed,      // fwrite fell short (disk full, etc.)
+};
 
-bool write_phase_space(const std::string& path, const vlasov::PhaseSpace& f);
-bool read_phase_space(const std::string& path, vlasov::PhaseSpace& f);
+/// Human-readable status name ("ok", "short-read", ...).
+const char* to_string(SnapshotStatus status);
+
+/// Format version written by this build (bumped on layout changes).
+unsigned snapshot_version();
+
+SnapshotStatus write_particles(const std::string& path,
+                               const nbody::Particles& particles);
+SnapshotStatus read_particles(const std::string& path,
+                              nbody::Particles& particles);
+
+SnapshotStatus write_phase_space(const std::string& path,
+                                 const vlasov::PhaseSpace& f);
+SnapshotStatus read_phase_space(const std::string& path,
+                                vlasov::PhaseSpace& f);
 
 }  // namespace v6d::io

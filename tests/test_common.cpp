@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <thread>
 
@@ -131,6 +133,67 @@ TEST(Options, EnvironmentFallback) {
   EXPECT_EQ(opt.get_int("testkey", 0), 41);
   unsetenv("V6D_TESTKEY");
   EXPECT_EQ(opt.get_int("testkey", 5), 5);
+}
+
+TEST(Options, ParseCliSeparatesPositionalAndHelp) {
+  const char* argv[] = {"prog", "run", "box=42", "--help", "cfgfile"};
+  const CliArgs cli = parse_cli(5, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.help);
+  ASSERT_EQ(cli.positional.size(), 2u);
+  EXPECT_EQ(cli.positional[0], "run");
+  EXPECT_EQ(cli.positional[1], "cfgfile");
+  EXPECT_EQ(cli.options.get_int("box", 0), 42);
+}
+
+TEST(Options, LoadFileSectionsCommentsAndPrecedence) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "v6d_options_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "# full-line comment\n"
+        << "alpha = 1\n"
+        << "beta = 2  ; trailing comment\n"
+        << "\n"
+        << "[tree]\n"
+        << "theta = 0.7\n";
+  }
+  Options opt;
+  opt.set("alpha", "9");  // CLI value must survive the file load
+  std::string error;
+  ASSERT_TRUE(opt.load_file(path.string(), &error)) << error;
+  EXPECT_EQ(opt.get_int("alpha", 0), 9);
+  EXPECT_EQ(opt.get_int("beta", 0), 2);
+  EXPECT_DOUBLE_EQ(opt.get_double("tree.theta", 0.0), 0.7);
+  std::filesystem::remove(path);
+}
+
+TEST(Options, LoadFileRejectsMalformedLinesAndMissingFiles) {
+  Options opt;
+  std::string error;
+  EXPECT_FALSE(opt.load_file("/nonexistent/v6d.cfg", &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+
+  const auto path =
+      std::filesystem::temp_directory_path() / "v6d_malformed.cfg";
+  {
+    std::ofstream out(path);
+    out << "this line has no equals sign\n";
+  }
+  EXPECT_FALSE(opt.load_file(path.string(), &error));
+  EXPECT_NE(error.find(":1:"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Rng, StateRoundTripContinuesStream) {
+  Xoshiro256 rng(2024);
+  rng.next_normal();  // leave a cached Box-Muller value in the state
+  const auto state = rng.state();
+  Xoshiro256 other(1);
+  other.set_state(state);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(other.next_u64(), rng.next_u64());
+    EXPECT_EQ(other.next_normal(), rng.next_normal());
+  }
 }
 
 }  // namespace

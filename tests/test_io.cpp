@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 
@@ -30,9 +31,9 @@ TEST(Snapshot, ParticlesRoundTrip) {
     p.id[i] = i * 7;
   }
   const std::string path = temp_path("v6d_particles_test.bin");
-  ASSERT_TRUE(io::write_particles(path, p));
+  ASSERT_EQ(io::write_particles(path, p), io::SnapshotStatus::kOk);
   nbody::Particles q;
-  ASSERT_TRUE(io::read_particles(path, q));
+  ASSERT_EQ(io::read_particles(path, q), io::SnapshotStatus::kOk);
   ASSERT_EQ(q.size(), p.size());
   EXPECT_DOUBLE_EQ(q.mass, p.mass);
   for (std::size_t i = 0; i < p.size(); ++i) {
@@ -61,9 +62,9 @@ TEST(Snapshot, PhaseSpaceRoundTrip) {
           blk[v] = static_cast<float>(rng.next_double());
       }
   const std::string path = temp_path("v6d_ps_test.bin");
-  ASSERT_TRUE(io::write_phase_space(path, f));
+  ASSERT_EQ(io::write_phase_space(path, f), io::SnapshotStatus::kOk);
   vlasov::PhaseSpace h;
-  ASSERT_TRUE(io::read_phase_space(path, h));
+  ASSERT_EQ(io::read_phase_space(path, h), io::SnapshotStatus::kOk);
   EXPECT_EQ(h.dims().nx, 3);
   EXPECT_EQ(h.dims().nuz, 4);
   EXPECT_DOUBLE_EQ(h.geom().umax, 5.0);
@@ -85,10 +86,79 @@ TEST(Snapshot, RejectsWrongMagic) {
   std::fwrite(junk, 1, sizeof(junk), fp);
   std::fclose(fp);
   nbody::Particles p;
-  EXPECT_FALSE(io::read_particles(path, p));
+  EXPECT_EQ(io::read_particles(path, p), io::SnapshotStatus::kBadMagic);
   vlasov::PhaseSpace f;
-  EXPECT_FALSE(io::read_phase_space(path, f));
+  EXPECT_EQ(io::read_phase_space(path, f), io::SnapshotStatus::kBadMagic);
   std::remove(path.c_str());
+}
+
+TEST(Snapshot, MissingFileIsOpenFailed) {
+  nbody::Particles p;
+  EXPECT_EQ(io::read_particles(temp_path("v6d_does_not_exist.bin"), p),
+            io::SnapshotStatus::kOpenFailed);
+}
+
+TEST(Snapshot, TruncatedPayloadIsShortRead) {
+  nbody::Particles p(64);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.x[i] = p.y[i] = p.z[i] = 0.5;
+    p.ux[i] = p.uy[i] = p.uz[i] = 0.0;
+    p.id[i] = i;
+  }
+  const std::string path = temp_path("v6d_truncated.bin");
+  ASSERT_EQ(io::write_particles(path, p), io::SnapshotStatus::kOk);
+  // Chop the file mid-payload; the header still advertises 64 particles.
+  ASSERT_EQ(std::filesystem::file_size(path) > 128u, true);
+  std::filesystem::resize_file(path, 128);
+  nbody::Particles q;
+  EXPECT_EQ(io::read_particles(path, q), io::SnapshotStatus::kShortRead);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, FutureVersionIsVersionMismatch) {
+  vlasov::PhaseSpaceDims d;
+  d.nx = d.ny = d.nz = 2;
+  d.nux = d.nuy = d.nuz = 2;
+  vlasov::PhaseSpace f(d, vlasov::PhaseSpaceGeometry{});
+  const std::string path = temp_path("v6d_future_version.bin");
+  ASSERT_EQ(io::write_phase_space(path, f), io::SnapshotStatus::kOk);
+  // Bump the on-disk version field (bytes 4..7) past the supported one.
+  std::FILE* fp = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(fp, nullptr);
+  const std::uint32_t future = io::snapshot_version() + 1;
+  std::fseek(fp, 4, SEEK_SET);
+  std::fwrite(&future, sizeof(future), 1, fp);
+  std::fclose(fp);
+  vlasov::PhaseSpace g;
+  EXPECT_EQ(io::read_phase_space(path, g),
+            io::SnapshotStatus::kVersionMismatch);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CorruptDimsAreBadHeader) {
+  vlasov::PhaseSpaceDims d;
+  d.nx = d.ny = d.nz = 2;
+  d.nux = d.nuy = d.nuz = 2;
+  vlasov::PhaseSpace f(d, vlasov::PhaseSpaceGeometry{});
+  const std::string path = temp_path("v6d_bad_dims.bin");
+  ASSERT_EQ(io::write_phase_space(path, f), io::SnapshotStatus::kOk);
+  // A negative dimension must be rejected before any allocation.
+  std::FILE* fp = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(fp, nullptr);
+  const std::int32_t negative = -4;
+  std::fseek(fp, 8, SEEK_SET);  // first dim, after magic + version
+  std::fwrite(&negative, sizeof(negative), 1, fp);
+  std::fclose(fp);
+  vlasov::PhaseSpace g;
+  EXPECT_EQ(io::read_phase_space(path, g), io::SnapshotStatus::kBadHeader);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, StatusNamesAreStable) {
+  EXPECT_STREQ(io::to_string(io::SnapshotStatus::kOk), "ok");
+  EXPECT_STREQ(io::to_string(io::SnapshotStatus::kShortRead), "short-read");
+  EXPECT_STREQ(io::to_string(io::SnapshotStatus::kVersionMismatch),
+               "version-mismatch");
 }
 
 TEST(Pgm, WritesValidHeaderAndPayload) {
