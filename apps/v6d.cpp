@@ -31,7 +31,8 @@ int usage(std::FILE* out) {
                "\n"
                "common keys: a_final, da_max, max_steps, wall_budget_s,\n"
                "             checkpoint_every, checkpoint_dir,\n"
-               "             progress_every, seed, box, nx, nu, np, mnu\n");
+               "             progress_every, perf_report, seed, box, nx,\n"
+               "             nu, np, mnu   (see docs/CONFIG.md for all)\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -48,6 +49,9 @@ void print_summary(driver::Driver& d, const driver::RunResult& result) {
               static_cast<long long>(result.total_steps), result.steps);
   if (!result.checkpoint.empty())
     std::printf("checkpoint written to %s\n", result.checkpoint.c_str());
+  if (!d.config().perf_report.empty())
+    std::printf("perf report written to %s\n",
+                d.config().perf_report.c_str());
 
   std::printf("per-phase wall time [s]:\n");
   for (const auto& bucket : d.timers().buckets())

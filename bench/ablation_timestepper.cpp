@@ -10,8 +10,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util.hpp"
 #include "common/timer.hpp"
+#include "harness.hpp"
 #include "vlasov/sl_mpp5.hpp"
 
 using namespace v6d;
@@ -61,9 +61,10 @@ double time_per_cell(int n, double xi, bool use_rk3) {
 
 }  // namespace
 
-int main() {
-  bench::banner("Ablation - single-stage SL-MPP5 vs 3-stage RK3+MP5",
-                "paper §5.2 (cost of the time integrator)");
+int main(int argc, char** argv) {
+  bench::Harness harness("ablation_timestepper", argc, argv);
+  harness.banner("Ablation - single-stage SL-MPP5 vs 3-stage RK3+MP5",
+                 "paper §5.2 (cost of the time integrator)");
 
   const int n = 256;
   const double xi = 0.4;
@@ -94,6 +95,13 @@ int main() {
   table.row({"RK3 + MP5", io::TableWriter::fmt(t_rk, 3),
              io::TableWriter::fmt(e_rk, 3), "no (CFL-bound)"});
   table.print();
+
+  harness.add_phase("sl_mpp5_cell_update", t_sl * 1e-9, 1, 1.0);
+  harness.add_phase("rk3_mp5_cell_update", t_rk * 1e-9, 1, 1.0);
+  harness.metric("rk3_over_sl_cost", t_rk / t_sl, "x");
+  harness.metric("sl_linf_error_20steps", e_sl);
+  harness.metric("rk3_linf_error_20steps", e_rk);
+  harness.metric("sl_stable_at_xi_2p5", sl_stable ? 1.0 : 0.0, "bool");
 
   std::printf("\n  cost ratio (RK3+MP5 / SL-MPP5): %.2fx", t_rk / t_sl);
   std::printf("   (paper: ~3x from the three flux stages)\n");

@@ -10,19 +10,21 @@
 #include <cstdio>
 #include <mutex>
 
-#include "bench_util.hpp"
 #include "comm/perfmodel.hpp"
+#include "harness.hpp"
 #include "comm/runner.hpp"
 #include "fft/parallel_fft.hpp"
 
 using namespace v6d;
 
 int main(int argc, char** argv) {
-  Options opt(argc, argv);
-  bench::banner("FFT scaling - slab-decomposed parallel transform",
-                "paper §5.1.3 / Table 3-4 PM rows (SSL II role)");
+  bench::Harness harness("fft_scaling", argc, argv);
+  auto& opt = harness.options();
+  harness.banner("FFT scaling - slab-decomposed parallel transform",
+                 "paper §5.1.3 / Table 3-4 PM rows (SSL II role)");
 
   const int n = opt.get_int("n", bench::scaled(48, 24));
+  harness.context("n", std::to_string(n));
   std::printf("  grid %d^3, forward+inverse per measurement\n\n", n);
 
   io::TableWriter table({"ranks", "wall [s]", "bytes sent/rank",
@@ -50,6 +52,9 @@ int main(int argc, char** argv) {
     table.row({std::to_string(ranks), io::TableWriter::fmt(wall, 3),
                io::TableWriter::fmt(static_cast<double>(bytes), 3),
                std::to_string(msgs)});
+    harness.add_phase("fft3d_ranks_" + std::to_string(ranks), wall, 1,
+                      static_cast<double>(n) * n * n,
+                      static_cast<double>(bytes));
   }
   table.print();
 

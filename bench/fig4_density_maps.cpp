@@ -9,8 +9,8 @@
 // Maps are written as PGM + CSV next to the binary.
 #include <cstdio>
 
-#include "bench_util.hpp"
 #include "diagnostics/field_compare.hpp"
+#include "harness.hpp"
 #include "diagnostics/projections.hpp"
 #include "hybrid_setup.hpp"
 #include "io/pgm.hpp"
@@ -19,9 +19,10 @@
 using namespace v6d;
 
 int main(int argc, char** argv) {
-  Options opt(argc, argv);
-  bench::banner("Fig. 4 - CDM vs neutrino density maps (0.4 / 0.2 eV)",
-                "paper Fig. 4");
+  bench::Harness harness("fig4_density_maps", argc, argv);
+  auto& opt = harness.options();
+  harness.banner("Fig. 4 - CDM vs neutrino density maps (0.4 / 0.2 eV)",
+                 "paper Fig. 4");
 
   bench::HybridRunConfig cfg;
   cfg.nx = opt.get_int("nx", bench::scaled(10, 6));
@@ -41,8 +42,14 @@ int main(int argc, char** argv) {
     cfg.m_nu_ev = m_nu;
     std::printf("  running hybrid simulation, M_nu = %.1f eV ...\n", m_nu);
     auto run = bench::make_hybrid_run(cfg);
+    Stopwatch watch;  // evolution only: ICs would skew the per-step rate
     bench::evolve(run, cfg);
     std::printf("    %d steps to a = %.2f\n", run.steps_taken, cfg.a_final);
+    char phase[32];
+    std::snprintf(phase, sizeof(phase), "hybrid_run_%.1fev", m_nu);
+    harness.add_phase(phase, watch.seconds(), run.steps_taken,
+                      static_cast<double>(
+                          run.solver->neutrinos().dims().total_interior()));
 
     Result r;
     r.mass = m_nu;
@@ -78,6 +85,16 @@ int main(int argc, char** argv) {
                            results[0].cdm_map.log_contrast_rms();
   const bool lighter_smoother = results[1].nu_map.log_contrast_rms() <
                                 results[0].nu_map.log_contrast_rms();
+  harness.metric("cdm_log_contrast_rms",
+                 results[0].cdm_map.log_contrast_rms());
+  harness.metric("nu04_log_contrast_rms",
+                 results[0].nu_map.log_contrast_rms());
+  harness.metric("nu02_log_contrast_rms",
+                 results[1].nu_map.log_contrast_rms());
+  harness.metric("nu_cdm_correlation", results[0].corr);
+  harness.metric("nu_smoother_than_cdm", nu_smoother ? 1.0 : 0.0, "bool");
+  harness.metric("lighter_nu_smoother", lighter_smoother ? 1.0 : 0.0,
+                 "bool");
   std::printf("\n  nu smoother than CDM:          %s (paper: yes)\n",
               nu_smoother ? "YES" : "NO");
   std::printf("  0.2 eV smoother than 0.4 eV:   %s (paper: yes)\n",

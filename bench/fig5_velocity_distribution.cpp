@@ -7,18 +7,19 @@
 // writes the slice as CSV/PGM.
 #include <cstdio>
 
-#include "bench_util.hpp"
 #include "cosmology/neutrino_ic.hpp"
 #include "diagnostics/vdf_probe.hpp"
+#include "harness.hpp"
 #include "hybrid_setup.hpp"
 #include "io/pgm.hpp"
 
 using namespace v6d;
 
 int main(int argc, char** argv) {
-  Options opt(argc, argv);
-  bench::banner("Fig. 5 - velocity distribution at a single cell",
-                "paper Fig. 5");
+  bench::Harness harness("fig5_velocity_distribution", argc, argv);
+  auto& opt = harness.options();
+  harness.banner("Fig. 5 - velocity distribution at a single cell",
+                 "paper Fig. 5");
 
   bench::HybridRunConfig cfg;
   cfg.nx = opt.get_int("nx", bench::scaled(8, 6));
@@ -27,7 +28,11 @@ int main(int argc, char** argv) {
   cfg.a_final = opt.get_double("a_final", 0.5);
   std::printf("  running hybrid simulation to a = %.2f ...\n", cfg.a_final);
   auto run = bench::make_hybrid_run(cfg);
+  Stopwatch watch;  // evolution only: ICs would skew the per-step rate
   bench::evolve(run, cfg);
+  harness.add_phase("hybrid_run", watch.seconds(), run.steps_taken,
+                    static_cast<double>(
+                        run.solver->neutrinos().dims().total_interior()));
 
   const int probe = cfg.nx / 2;
   const auto slice =
@@ -72,6 +77,9 @@ int main(int argc, char** argv) {
   }
   profile.print();
 
+  harness.metric("vlasov_resolved_decades", slice.resolved_decades());
+  harness.metric("nbody_samples_in_cell",
+                 static_cast<double>(in_cell.ux.size()));
   io::write_csv("fig5_vdf_slice.csv", diag::Map2D{slice.nux, slice.nuy,
                                                   slice.values});
   std::printf(

@@ -9,8 +9,8 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench_util.hpp"
 #include "cosmology/neutrino_ic.hpp"
+#include "harness.hpp"
 #include "cosmology/zeldovich.hpp"
 #include "diagnostics/field_compare.hpp"
 #include "diagnostics/noise.hpp"
@@ -69,9 +69,10 @@ ParticleMoments particle_moments(const nbody::Particles& p, double box,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt(argc, argv);
-  bench::banner("Fig. 6 - neutrino moment fields: Vlasov vs N-body",
-                "paper Fig. 6");
+  bench::Harness harness("fig6_moment_fields", argc, argv);
+  auto& opt = harness.options();
+  harness.banner("Fig. 6 - neutrino moment fields: Vlasov vs N-body",
+                 "paper Fig. 6");
 
   bench::HybridRunConfig cfg;
   cfg.nx = opt.get_int("nx", bench::scaled(8, 6));
@@ -81,7 +82,10 @@ int main(int argc, char** argv) {
 
   std::printf("  hybrid (Vlasov) run ...\n");
   auto vlasov_run = bench::make_hybrid_run(cfg);
+  Stopwatch vlasov_watch;  // evolution only, like the nbody stepping phase
   bench::evolve(vlasov_run, cfg);
+  harness.add_phase("hybrid_run", vlasov_watch.seconds(),
+                    vlasov_run.steps_taken);
 
   std::printf("  N-body-neutrino run from the same ICs ...\n");
   cosmo::Params params = cosmo::Params::planck2015(cfg.m_nu_ev);
@@ -106,6 +110,7 @@ int main(int argc, char** argv) {
   nbody::NBodySolver nbody(cfg.box, bg, nopt2);
   nbody.set_cdm(std::move(cdm_ics.particles));
   nbody.set_hot(std::move(nu_parts));
+  Stopwatch nbody_watch;  // stepping only, matching the hybrid_run phase
   {
     double a = cfg.a_init;
     while (a < cfg.a_final - 1e-12) {
@@ -114,6 +119,8 @@ int main(int argc, char** argv) {
       a = a1;
     }
   }
+
+  harness.add_phase("nbody_run", nbody_watch.seconds());
 
   // Vlasov moments.
   vlasov::MomentFields vm(cfg.nx, cfg.nx, cfg.nx);
@@ -164,6 +171,9 @@ int main(int argc, char** argv) {
   const auto bins = diag::measure_power(pm.density, cfg.box);
   const double excess = diag::shot_noise_excess(
       bins, cfg.box, static_cast<double>(nbody.hot()->size()));
+  harness.metric("vlasov_density_rms_fluct", rms_fluct(vm.density));
+  harness.metric("nbody_density_rms_fluct", rms_fluct(pm.density));
+  harness.metric("nbody_shot_noise_excess", excess);
   std::printf(
       "\n  N-body density small-scale power / Poisson shot-noise level:"
       " %.2f\n",

@@ -5,19 +5,26 @@
 // Prints the same series the paper plots, from the full-scale model
 // (host-measured rates + alpha-beta network; see scaling_harness.hpp).
 #include <cstdio>
+#include <set>
 
-#include "bench_util.hpp"
+#include "harness.hpp"
 #include "scaling_harness.hpp"
 
 using namespace v6d;
 
-int main() {
-  bench::banner("Fig. 7 - scaling curves (wall time per step vs nodes)",
-                "paper Fig. 7 (both panels)");
+int main(int argc, char** argv) {
+  bench::Harness harness("fig7_scaling_curves", argc, argv);
+  harness.banner("Fig. 7 - scaling curves (wall time per step vs nodes)",
+                 "paper Fig. 7 (both panels)");
 
   const auto rates = bench::measure_host_rates();
+  harness.metric("host_vlasov_cells_per_s", rates.vlasov_cells_per_s, "1/s");
+  harness.metric("host_tree_parts_per_s", rates.tree_parts_per_s, "1/s");
+  harness.metric("host_pm_points_per_s", rates.pm_points_per_s, "1/s");
   comm::NetworkModel net;
   const auto runs = bench::paper_run_table();
+  // Some ids appear in both panels; emit each modeled metric once.
+  std::set<std::string> reported;
 
   auto print_series = [&](const std::vector<std::string>& ids,
                           const char* title) {
@@ -29,6 +36,8 @@ int main() {
       for (const auto& c : runs)
         if (c.id == id) {
           const auto t = bench::model_step(c, rates, net);
+          if (reported.insert(c.id).second)
+            harness.metric("modeled_step_s_" + c.id, t.total(), "s");
           table.row({c.id, std::to_string(c.nodes),
                      io::TableWriter::fmt(t.total(), 3),
                      io::TableWriter::fmt(t.vlasov, 3),

@@ -7,17 +7,18 @@
 // toward smaller scales for CDM much faster than for neutrinos.
 #include <cstdio>
 
-#include "bench_util.hpp"
 #include "diagnostics/projections.hpp"
+#include "harness.hpp"
 #include "hybrid_setup.hpp"
 #include "io/pgm.hpp"
 
 using namespace v6d;
 
 int main(int argc, char** argv) {
-  Options opt(argc, argv);
-  bench::banner("Fig. 8 - multi-scale density maps of the largest run",
-                "paper Fig. 8 (run U1024, 1200 Mpc/h box)");
+  bench::Harness harness("fig8_zoom_maps", argc, argv);
+  auto& opt = harness.options();
+  harness.banner("Fig. 8 - multi-scale density maps of the largest run",
+                 "paper Fig. 8 (run U1024, 1200 Mpc/h box)");
 
   bench::HybridRunConfig cfg;
   cfg.box = 1200.0;  // the paper's TTS/U-run box
@@ -30,8 +31,12 @@ int main(int argc, char** argv) {
   std::printf("  running the largest feasible hybrid box (%.0f Mpc/h, %d^3 x %d^3)...\n",
               cfg.box, cfg.nx, cfg.nu);
   auto run = bench::make_hybrid_run(cfg);
+  Stopwatch watch;  // evolution only: ICs would skew the per-step rate
   bench::evolve(run, cfg);
   std::printf("    %d steps to a = %.2f\n\n", run.steps_taken, cfg.a_final);
+  harness.add_phase("hybrid_run", watch.seconds(), run.steps_taken,
+                    static_cast<double>(
+                        run.solver->neutrinos().dims().total_interior()));
 
   const auto& cdm = run.solver->cdm_density();
   const auto& nu = run.solver->nu_density();
@@ -52,6 +57,10 @@ int main(int argc, char** argv) {
     table.row({zoom.name, io::TableWriter::fmt(cfg.box * zoom.frac, 4),
                io::TableWriter::fmt(c_cdm, 3), io::TableWriter::fmt(c_nu, 3),
                io::TableWriter::fmt(c_nu / std::max(1e-12, c_cdm), 3)});
+    char metric[48];
+    std::snprintf(metric, sizeof(metric), "contrast_ratio_zoom%.0f",
+                  1.0 / zoom.frac);
+    harness.metric(metric, c_nu / std::max(1e-12, c_cdm));
 
     char name[64];
     std::snprintf(name, sizeof(name), "fig8_cdm_zoom%.0f.pgm",

@@ -1,0 +1,85 @@
+#include "harness.hpp"
+
+#include <cstdio>
+
+namespace v6d::bench {
+
+void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf(
+      "\n================================================================\n");
+  std::printf("  %s\n", title.c_str());
+  std::printf("  reproduces: %s\n", paper_ref.c_str());
+  std::printf(
+      "================================================================\n\n");
+}
+
+void note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+Harness::Harness(const std::string& name, int argc, char** argv)
+    : options_(argc, argv), report_(io::make_perf_report(name)) {
+  // `--json-out=PATH` parses as key "--json-out"; `json_out=PATH` and the
+  // V6D_JSON_OUT environment variable arrive through the plain key.
+  json_path_ = options_.get("--json-out", "");
+  if (json_path_.empty())
+    json_path_ = options_.get("json_out", "BENCH_" + name + ".json");
+  // `--no-json` has no '=' so the option parser files it as positional —
+  // scan argv for it directly.
+  bool no_json = !options_.get_bool("json", true);
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--no-json") no_json = true;
+  if (no_json) json_path_.clear();
+}
+
+Harness::~Harness() {
+  std::string error;
+  if (!write(&error) && !error.empty())
+    std::fprintf(stderr, "  warning: %s\n", error.c_str());
+}
+
+void Harness::banner(const std::string& title, const std::string& paper_ref) {
+  bench::banner(title, paper_ref);
+  report_.context["title"] = title;
+  report_.context["paper_ref"] = paper_ref;
+}
+
+double Harness::time_phase(const std::string& phase, int reps,
+                           const std::function<void()>& fn, double cells,
+                           double bytes, bool warmup) {
+  if (reps < 1) reps = 1;
+  if (warmup) fn();
+  Stopwatch watch;
+  for (int r = 0; r < reps; ++r) fn();
+  const double seconds = watch.seconds();
+  report_.add_phase(phase, seconds, reps, cells, bytes);
+  return seconds / reps;
+}
+
+void Harness::add_phase(const std::string& phase, double seconds, long reps,
+                        double cells, double bytes) {
+  report_.add_phase(phase, seconds, reps, cells, bytes);
+}
+
+void Harness::metric(const std::string& name, double value,
+                     const std::string& unit) {
+  report_.add_metric(name, value, unit);
+}
+
+void Harness::context(const std::string& key, const std::string& value) {
+  report_.context[key] = value;
+}
+
+bool Harness::write(std::string* error) {
+  if (written_ || json_path_.empty()) return true;
+  written_ = true;  // one attempt; a failing path should not retry forever
+  std::string local;
+  if (!report_.write(json_path_, &local)) {
+    if (error) *error = local;
+    return false;
+  }
+  std::printf("  json: %s\n", json_path_.c_str());
+  return true;
+}
+
+}  // namespace v6d::bench

@@ -1,0 +1,87 @@
+// The unified benchmark harness: every bench/ executable routes its
+// timing, rate computation and machine-readable output through this one
+// class, so each run leaves behind a schema-versioned JSON record
+// (io/perf_report.hpp, schema v6d-perf/1) next to its human-readable
+// tables.
+//
+// Conventions shared by all benches:
+//   * key=value argv tokens + V6D_* environment fallbacks (common/options);
+//   * `--json-out=PATH` (or `json_out=PATH`, or V6D_JSON_OUT) picks the
+//     JSON destination; the default is BENCH_<name>.json in the working
+//     directory;
+//   * `--no-json` / `json=0` suppresses the file (console-only run);
+//   * V6D_QUICK=1 shrinks problem sizes via scaled().
+//
+// The report is written exactly once — at destruction or on an explicit
+// write() — so a bench main() needs no shutdown boilerplate.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/options.hpp"
+#include "common/timer.hpp"
+#include "io/perf_report.hpp"
+#include "io/table_writer.hpp"
+
+namespace v6d::bench {
+
+void banner(const std::string& title, const std::string& paper_ref);
+void note(const std::string& text);
+
+/// Scale factor for run sizes: quick mode shrinks everything.
+inline int scaled(int full, int quick) {
+  return v6d::quick_mode() ? quick : full;
+}
+
+class Harness {
+ public:
+  /// `name` names the report and the default BENCH_<name>.json output.
+  Harness(const std::string& name, int argc, char** argv);
+  /// Writes the JSON report if write() has not run yet (best-effort: a
+  /// destructor cannot throw, so failures only print a warning).
+  ~Harness();
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  /// key=value options parsed from argv (plus V6D_* environment).
+  Options& options() { return options_; }
+
+  /// Print the standard banner and record title/reference in the report.
+  void banner(const std::string& title, const std::string& paper_ref);
+
+  /// Time `fn` over `reps` repetitions (after one untimed warmup when
+  /// `warmup` is true) and record the phase.  `cells` / `bytes` describe
+  /// one repetition's work (cell updates, bytes moved) and feed the
+  /// derived cell_updates_per_s / gb_per_s rates.  Returns seconds per
+  /// repetition.
+  double time_phase(const std::string& phase, int reps,
+                    const std::function<void()>& fn, double cells = 0.0,
+                    double bytes = 0.0, bool warmup = true);
+
+  /// Record an externally timed phase (total seconds over `reps`).
+  void add_phase(const std::string& phase, double seconds, long reps = 1,
+                 double cells = 0.0, double bytes = 0.0);
+
+  /// Record a named scalar result (speedup, error, modeled time, ...).
+  void metric(const std::string& name, double value,
+              const std::string& unit = "");
+
+  /// Attach a context string (grid sizes, mode flags) to the report.
+  void context(const std::string& key, const std::string& value);
+
+  /// Destination of the JSON report ("" when suppressed).
+  const std::string& json_path() const { return json_path_; }
+
+  /// Write the report now (idempotent).  Returns false on I/O failure.
+  bool write(std::string* error = nullptr);
+
+ private:
+  Options options_;
+  io::PerfReport report_;
+  std::string json_path_;
+  bool written_ = false;
+};
+
+}  // namespace v6d::bench

@@ -1,102 +1,164 @@
-// Micro-benchmarks of the building blocks: the in-register transpose (the
-// LAT primitive, §5.3 Fig. 3), the SL-MPP5 line kernel, and the FFT.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks of the building blocks — the in-register transpose (the
+// LAT primitive, §5.3 Fig. 3), the SL-MPP5 line kernel in its scalar /
+// SIMD / LAT forms, the FFT — plus the headline pipeline measurement: one
+// full set of six directional sweeps (fused velocity kick + position
+// drift) through the production dispatch path versus the seed's per-axis
+// scalar path.  The `fused_sweep_speedup` metric in BENCH_micro_kernels
+// .json is the perf-trajectory number tracked across PRs.
 #include <cmath>
 #include <string>
 #include <vector>
 
 #include "fft/fft1d.hpp"
+#include "harness.hpp"
+#include "mesh/grid.hpp"
 #include "simd/transpose.hpp"
 #include "vlasov/advect_kernels.hpp"
+#include "vlasov/sweeps.hpp"
 
 namespace {
 
 using namespace v6d;
+using vlasov::SweepKernel;
 
-void BM_TransposeTile(benchmark::State& state) {
-  constexpr int L = simd::kNativeFloatWidth;
-  std::vector<float> src(L * 64), dst(L * 64);
-  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<float>(i);
-  for (auto _ : state) {
-    simd::transpose_tile<float, L>(src.data(), 64, dst.data(), 64);
-    benchmark::DoNotOptimize(dst.data());
-  }
-  state.counters["elements/s"] = benchmark::Counter(
-      L * L, benchmark::Counter::kIsIterationInvariantRate);
+vlasov::PhaseSpace make_box(int nx, int nu) {
+  vlasov::PhaseSpaceDims d;
+  d.nx = d.ny = d.nz = nx;
+  d.nux = d.nuy = d.nuz = nu;
+  vlasov::PhaseSpaceGeometry g;
+  g.dx = g.dy = g.dz = 1.0;
+  g.umax = 1.0;
+  g.dux = g.duy = g.duz = 2.0 / nu;
+  vlasov::PhaseSpace f(d, g);
+  for (int ix = 0; ix < nx; ++ix)
+    for (int iy = 0; iy < nx; ++iy)
+      for (int iz = 0; iz < nx; ++iz) {
+        float* blk = f.block(ix, iy, iz);
+        for (std::size_t v = 0; v < f.block_size(); ++v)
+          blk[v] = 0.5f + 0.4f * static_cast<float>(
+                              std::sin(0.1 * static_cast<double>(v + ix)));
+      }
+  return f;
 }
-BENCHMARK(BM_TransposeTile);
 
-void BM_SlMpp5Line(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  std::vector<float> f(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i)
-    f[static_cast<std::size_t>(i)] =
-        static_cast<float>(std::exp(-0.01 * (i - n / 2.0) * (i - n / 2.0)));
-  for (auto _ : state) {
-    vlasov::advect_line_periodic(f.data(), n, 0.37, vlasov::Limiter::kMpp);
-    benchmark::DoNotOptimize(f.data());
+/// One set of six directional sweeps: velocity kick (3 axes) + position
+/// drift (3 axes with periodic halo refills), mirroring kick_half +
+/// drift_full's structure.  `fused` selects the production path
+/// (advect_velocity_all + requested kernel); otherwise the seed's
+/// per-axis passes run.
+void six_sweeps(vlasov::PhaseSpace& f, const mesh::Grid3D<double>& accel,
+                SweepKernel kernel, bool fused) {
+  const double dt = 0.5;
+  const double drift = 0.35 * f.geom().dx / f.geom().umax;
+  if (fused) {
+    vlasov::advect_velocity_all(f, accel, accel, accel, dt, kernel);
+  } else {
+    for (int axis = 0; axis < 3; ++axis)
+      vlasov::advect_velocity_axis(f, axis, accel, dt, kernel);
   }
-  state.counters["cells/s"] = benchmark::Counter(
-      n, benchmark::Counter::kIsIterationInvariantRate);
-}
-BENCHMARK(BM_SlMpp5Line)->Arg(64)->Arg(256)->Arg(1024);
-
-void BM_SlMpp5SimdLines(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  constexpr int L = vlasov::kLanes;
-  std::vector<float> f(static_cast<std::size_t>(n) * L);
-  for (std::size_t i = 0; i < f.size(); ++i)
-    f[i] = 0.5f + 0.3f * static_cast<float>(std::sin(0.05 * i));
-  vlasov::AdvectWorkspace ws;
-  for (auto _ : state) {
-    vlasov::advect_lines_simd(f.data(), L, f.data(), L, n, 0.37,
-                              vlasov::Limiter::kMpp,
-                              vlasov::GhostMode::kZero, ws);
-    benchmark::DoNotOptimize(f.data());
-  }
-  state.counters["cells/s"] = benchmark::Counter(
-      static_cast<double>(n) * L,
-      benchmark::Counter::kIsIterationInvariantRate);
-}
-BENCHMARK(BM_SlMpp5SimdLines)->Arg(64)->Arg(256);
-
-void BM_Fft1d(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  fft::FftPlan plan(n);
-  std::vector<fft::cplx> x(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i)
-    x[static_cast<std::size_t>(i)] = fft::cplx(std::sin(0.3 * i), 0.0);
-  for (auto _ : state) {
-    plan.forward(x.data());
-    benchmark::DoNotOptimize(x.data());
+  for (int axis : {2, 1, 0}) {
+    f.fill_ghosts_periodic();
+    vlasov::advect_position_axis(f, axis, drift, kernel);
   }
 }
-BENCHMARK(BM_Fft1d)->Arg(64)->Arg(128)->Arg(288)->Arg(97);
 
 }  // namespace
 
-// Custom main (instead of benchmark_main) so every invocation also emits
-// machine-readable results: unless the caller picked their own
-// --benchmark_out, results land in BENCH_micro_kernels.json next to the
-// console table, seeding the perf trajectory across PRs.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0)
-      has_out = true;
-  std::string out_flag = "--benchmark_out=BENCH_micro_kernels.json";
-  std::string fmt_flag = "--benchmark_out_format=json";
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
+  bench::Harness harness("micro_kernels", argc, argv);
+  auto& opt = harness.options();
+  harness.banner("Micro-kernels: transpose, SL-MPP5 lines, FFT, fused sweeps",
+               "paper §5.3 Figs. 1-3 kernels; Table 1 pipeline");
+
+  // --- LAT transpose primitive ---
+  {
+    constexpr int L = simd::kNativeFloatWidth;
+    std::vector<float> src(L * 64), dst(L * 64);
+    for (std::size_t i = 0; i < src.size(); ++i)
+      src[i] = static_cast<float>(i);
+    const int reps = bench::scaled(200000, 20000);
+    harness.time_phase(
+        "transpose_tile", reps,
+        [&] { simd::transpose_tile<float, L>(src.data(), 64, dst.data(), 64); },
+        static_cast<double>(L) * L,
+        static_cast<double>(L) * L * 2 * sizeof(float));
   }
-  int args_count = static_cast<int>(args.size());
-  benchmark::Initialize(&args_count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
-    return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+
+  // --- SL-MPP5 line kernel, scalar periodic ---
+  for (const int n : {64, 256, 1024}) {
+    std::vector<float> f(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      f[static_cast<std::size_t>(i)] = static_cast<float>(
+          std::exp(-0.01 * (i - n / 2.0) * (i - n / 2.0)));
+    const int reps = bench::scaled(20000, 2000) * 256 / n;
+    harness.time_phase(
+        "sl_mpp5_line_" + std::to_string(n), reps,
+        [&] { vlasov::advect_line_periodic(f.data(), n, 0.37,
+                                           vlasov::Limiter::kMpp); },
+        n, static_cast<double>(n) * 2 * sizeof(float));
+  }
+
+  // --- SL-MPP5 multi-lane SIMD lines ---
+  for (const int n : {64, 256}) {
+    constexpr int L = vlasov::kLanes;
+    std::vector<float> f(static_cast<std::size_t>(n) * L);
+    for (std::size_t i = 0; i < f.size(); ++i)
+      f[i] = 0.5f + 0.3f * static_cast<float>(std::sin(0.05 * i));
+    vlasov::AdvectWorkspace ws;
+    const int reps = bench::scaled(20000, 2000) * 256 / n;
+    harness.time_phase(
+        "sl_mpp5_simd_lines_" + std::to_string(n), reps,
+        [&] {
+          vlasov::advect_lines_simd(f.data(), L, f.data(), L, n, 0.37,
+                                    vlasov::Limiter::kMpp,
+                                    vlasov::GhostMode::kZero, ws);
+        },
+        static_cast<double>(n) * L,
+        static_cast<double>(n) * L * 2 * sizeof(float));
+  }
+
+  // --- FFT ---
+  for (const int n : {64, 128, 288, 97}) {
+    fft::FftPlan plan(n);
+    std::vector<fft::cplx> x(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      x[static_cast<std::size_t>(i)] = fft::cplx(std::sin(0.3 * i), 0.0);
+    const int reps = bench::scaled(20000, 2000);
+    harness.time_phase("fft1d_" + std::to_string(n), reps,
+                     [&] { plan.forward(x.data()); });
+  }
+
+  // --- headline: fused+dispatched sweep pipeline vs the seed scalar path ---
+  {
+    const int nx = opt.get_int("nx", bench::scaled(10, 6));
+    const int nu = opt.get_int("nu", bench::scaled(12, 8));
+    const int reps = opt.get_int("reps", 2);
+    harness.context("sweep_nx", std::to_string(nx));
+    harness.context("sweep_nu", std::to_string(nu));
+    auto f = make_box(nx, nu);
+    mesh::Grid3D<double> accel(nx, nx, nx);
+    accel.fill(0.11);
+
+    // Six sweeps update every phase-space cell once each.
+    const double cells =
+        static_cast<double>(f.dims().total_interior()) * 6.0;
+    const double bytes = cells * 2 * sizeof(float);
+
+    const double t_scalar = harness.time_phase(
+        "sweep_scalar_seed", reps,
+        [&] { six_sweeps(f, accel, SweepKernel::kScalar, /*fused=*/false); },
+        cells, bytes);
+    const double t_fused = harness.time_phase(
+        "sweep_fused_auto", reps,
+        [&] { six_sweeps(f, accel, SweepKernel::kAuto, /*fused=*/true); },
+        cells, bytes);
+
+    const double speedup = t_scalar / t_fused;
+    harness.metric("fused_sweep_speedup", speedup, "x");
+    std::printf(
+        "  fused sweep pipeline: %.3f ms vs scalar seed path %.3f ms "
+        "(%.2fx)\n",
+        t_fused * 1e3, t_scalar * 1e3, speedup);
+  }
   return 0;
 }

@@ -1,16 +1,16 @@
 // §5.1.2 numbers: the Phantom-GRAPE-style particle-particle kernel.
 //
 // Paper: 1.2e9 interactions/s with SVE vs 2.4e7 without, per A64FX core
-// (a ~50x contrast).  These google-benchmarks measure interactions/s of
-// the scalar double-precision path and the single-precision SIMD path on
-// this host; the expected shape is a large (order-of-magnitude-class)
-// SIMD win.
-#include <benchmark/benchmark.h>
-
+// (a ~50x contrast).  Measured here: interactions/s of the scalar
+// double-precision path and the single-precision SIMD path on this host
+// (with and without the cutoff polynomial); the expected shape is a large
+// SIMD win, recorded as `pp_simd_speedup` in the JSON report.
+#include <cstdio>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "gravity/pp_kernel.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -51,58 +51,75 @@ PpKernelParams split_params() {
   return p;
 }
 
-void BM_PpScalar(benchmark::State& state) {
-  const std::size_t nt = 64, ns = static_cast<std::size_t>(state.range(0));
-  Workload w(nt, ns);
-  const PpKernelParams params = split_params();
-  std::vector<double> ax(nt), ay(nt), az(nt);
-  for (auto _ : state) {
-    pp_accumulate_scalar(w.tx.data(), w.ty.data(), w.tz.data(), nt,
-                         w.sx.data(), w.sy.data(), w.sz.data(), w.sm.data(),
-                         ns, params, ax.data(), ay.data(), az.data());
-    benchmark::DoNotOptimize(ax.data());
-  }
-  state.counters["interactions/s"] = benchmark::Counter(
-      static_cast<double>(nt * ns), benchmark::Counter::kIsIterationInvariantRate);
-}
-BENCHMARK(BM_PpScalar)->Arg(1024)->Arg(8192);
-
-void BM_PpSimd(benchmark::State& state) {
-  const std::size_t nt = 64, ns = static_cast<std::size_t>(state.range(0));
-  Workload w(nt, ns);
-  const PpKernelParams params = split_params();
-  const CutoffPoly poly(params.rcut / (2.0 * params.rs), 14);
-  std::vector<float> ax(nt), ay(nt), az(nt);
-  for (auto _ : state) {
-    pp_accumulate_simd(w.ftx.data(), w.fty.data(), w.ftz.data(), nt,
-                       w.fsx.data(), w.fsy.data(), w.fsz.data(),
-                       w.fsm.data(), ns, params, poly, ax.data(), ay.data(),
-                       az.data());
-    benchmark::DoNotOptimize(ax.data());
-  }
-  state.counters["interactions/s"] = benchmark::Counter(
-      static_cast<double>(nt * ns), benchmark::Counter::kIsIterationInvariantRate);
-}
-BENCHMARK(BM_PpSimd)->Arg(1024)->Arg(8192);
-
-// No-cutoff (pure 1/r^2) variants isolate the cutoff-polynomial cost.
-void BM_PpSimdNoCutoff(benchmark::State& state) {
-  const std::size_t nt = 64, ns = static_cast<std::size_t>(state.range(0));
-  Workload w(nt, ns);
-  PpKernelParams params;
-  params.eps = 0.01;
-  const CutoffPoly poly(3.0, 14);
-  std::vector<float> ax(nt), ay(nt), az(nt);
-  for (auto _ : state) {
-    pp_accumulate_simd(w.ftx.data(), w.fty.data(), w.ftz.data(), nt,
-                       w.fsx.data(), w.fsy.data(), w.fsz.data(),
-                       w.fsm.data(), ns, params, poly, ax.data(), ay.data(),
-                       az.data());
-    benchmark::DoNotOptimize(ax.data());
-  }
-  state.counters["interactions/s"] = benchmark::Counter(
-      static_cast<double>(nt * ns), benchmark::Counter::kIsIterationInvariantRate);
-}
-BENCHMARK(BM_PpSimdNoCutoff)->Arg(8192);
-
 }  // namespace
+
+int main(int argc, char** argv) {
+  using v6d::bench::Harness;
+  using v6d::bench::scaled;
+  Harness harness("pp_kernel_gflops", argc, argv);
+  harness.banner("PP kernel - interactions/s, scalar vs SIMD",
+               "paper §5.1.2 (Phantom-GRAPE-style kernel on A64FX)");
+
+  const std::size_t nt = 64;
+  const int reps = harness.options().get_int("reps", scaled(400, 50));
+  double t_scalar_8k = 0.0, t_simd_8k = 0.0;
+
+  for (const std::size_t ns : {std::size_t{1024}, std::size_t{8192}}) {
+    Workload w(nt, ns);
+    const PpKernelParams params = split_params();
+    const CutoffPoly poly(params.rcut / (2.0 * params.rs), 14);
+    const double interactions = static_cast<double>(nt * ns);
+    const std::string suffix = std::to_string(ns);
+
+    std::vector<double> ax(nt), ay(nt), az(nt);
+    const double t_scalar = harness.time_phase(
+        "pp_scalar_" + suffix, reps,
+        [&] {
+          pp_accumulate_scalar(w.tx.data(), w.ty.data(), w.tz.data(), nt,
+                               w.sx.data(), w.sy.data(), w.sz.data(),
+                               w.sm.data(), ns, params, ax.data(), ay.data(),
+                               az.data());
+        },
+        interactions);
+
+    std::vector<float> fax(nt), fay(nt), faz(nt);
+    const double t_simd = harness.time_phase(
+        "pp_simd_" + suffix, reps,
+        [&] {
+          pp_accumulate_simd(w.ftx.data(), w.fty.data(), w.ftz.data(), nt,
+                             w.fsx.data(), w.fsy.data(), w.fsz.data(),
+                             w.fsm.data(), ns, params, poly, fax.data(),
+                             fay.data(), faz.data());
+        },
+        interactions);
+
+    if (ns == 8192) {
+      t_scalar_8k = t_scalar;
+      t_simd_8k = t_simd;
+    }
+  }
+
+  // No-cutoff (pure 1/r^2) variant isolates the cutoff-polynomial cost.
+  {
+    const std::size_t ns = 8192;
+    Workload w(nt, ns);
+    PpKernelParams params;
+    params.eps = 0.01;
+    const CutoffPoly poly(3.0, 14);
+    std::vector<float> fax(nt), fay(nt), faz(nt);
+    harness.time_phase(
+        "pp_simd_nocutoff_8192", reps,
+        [&] {
+          pp_accumulate_simd(w.ftx.data(), w.fty.data(), w.ftz.data(), nt,
+                             w.fsx.data(), w.fsy.data(), w.fsz.data(),
+                             w.fsm.data(), ns, params, poly, fax.data(),
+                             fay.data(), faz.data());
+        },
+        static_cast<double>(nt * ns));
+  }
+
+  const double speedup = t_simd_8k > 0.0 ? t_scalar_8k / t_simd_8k : 0.0;
+  harness.metric("pp_simd_speedup", speedup, "x");
+  std::printf("  SIMD speedup at 8192 sources: %.2fx\n", speedup);
+  return 0;
+}

@@ -10,8 +10,8 @@
 #include <cstdio>
 #include <string>
 
-#include "bench_util.hpp"
 #include "common/timer.hpp"
+#include "harness.hpp"
 #include "mesh/grid.hpp"
 #include "simd/dispatch.hpp"
 #include "vlasov/sweeps.hpp"
@@ -63,13 +63,16 @@ double time_velocity_sweep(vlasov::PhaseSpace& f,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt(argc, argv);
-  bench::banner("Table 1 - SIMD & LAT advection kernels",
-                "paper Table 1 (Gflops per CMG, directions ux..z)");
+  bench::Harness harness("table1_simd_kernels", argc, argv);
+  auto& opt = harness.options();
+  harness.banner("Table 1 - SIMD & LAT advection kernels",
+                 "paper Table 1 (Gflops per CMG, directions ux..z)");
 
   const int nx = opt.get_int("nx", bench::scaled(8, 4));
   const int nu = opt.get_int("nu", bench::scaled(16, 8));
   const int reps = opt.get_int("reps", bench::scaled(3, 1));
+  harness.context("nx", std::to_string(nx));
+  harness.context("nu", std::to_string(nu));
   auto isa = simd::isa_info();
   std::printf("  host ISA: %s (%d fp32 lanes)   box: Nx=%d^3 Nu=%d^3\n\n",
               isa.name.c_str(), isa.float_width, nx, nu);
@@ -104,6 +107,10 @@ int main(int argc, char** argv) {
     const double t_simd = timed(SweepKernel::kSimd);
     const double gf_scalar = flops / t_scalar / 1e9;
     const double gf_simd = flops / t_simd / 1e9;
+    const std::string dir(row.name);
+    harness.add_phase("sweep_" + dir + "_scalar", t_scalar, 1, cells);
+    harness.add_phase("sweep_" + dir + "_simd", t_simd, 1, cells);
+    harness.metric("simd_speedup_" + dir, t_scalar / t_simd, "x");
     double gf_lat = 0.0;
     std::string lat_text = "-";
     std::string lat_speedup = "-";
@@ -112,6 +119,8 @@ int main(int argc, char** argv) {
       gf_lat = flops / t_lat / 1e9;
       lat_text = io::TableWriter::fmt(gf_lat, 3);
       lat_speedup = io::TableWriter::fmt(t_scalar / t_lat, 2) + "x";
+      harness.add_phase("sweep_" + dir + "_lat", t_lat, 1, cells);
+      harness.metric("lat_speedup_" + dir, t_scalar / t_lat, "x");
     }
     table.row({row.name, io::TableWriter::fmt(gf_scalar, 3),
                io::TableWriter::fmt(gf_simd, 3), lat_text,

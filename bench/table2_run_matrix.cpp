@@ -3,14 +3,15 @@
 // grid tallies, plus the scaled-down geometry this repo instantiates.
 #include <cstdio>
 
-#include "bench_util.hpp"
+#include "harness.hpp"
 #include "scaling_harness.hpp"
 
 using namespace v6d;
 
-int main() {
-  bench::banner("Table 2 - run matrix (S/M/L/H/U groups)",
-                "paper Table 2 (runs for scaling & time-to-solution)");
+int main(int argc, char** argv) {
+  bench::Harness harness("table2_run_matrix", argc, argv);
+  harness.banner("Table 2 - run matrix (S/M/L/H/U groups)",
+                 "paper Table 2 (runs for scaling & time-to-solution)");
 
   io::TableWriter table({"ID", "Nx", "Nu", "N_CDM", "N_node", "(nx,ny,nz)",
                          "proc/node", "grids/proc", "mem/proc [GB]"});
@@ -30,6 +31,10 @@ int main() {
                io::TableWriter::fmt(mem_gb, 3)});
   }
   table.print();
+
+  harness.metric("largest_run_grids", max_grids);
+  harness.metric("run_count",
+                 static_cast<double>(bench::paper_run_table().size()));
 
   std::printf("\n  largest run (U1024): %.3g phase-space grids", max_grids);
   std::printf(" — the paper's \"400 trillion\" (1152^3 x 64^3 = 4.0e14).\n");

@@ -10,15 +10,16 @@
 //      as paper Table 3.
 #include <cstdio>
 
-#include "bench_util.hpp"
+#include "harness.hpp"
 #include "scaling_harness.hpp"
 
 using namespace v6d;
 
 int main(int argc, char** argv) {
-  Options opt(argc, argv);
-  bench::banner("Table 3 - weak scaling efficiencies",
-                "paper Table 3 and Fig. 7 left panel");
+  bench::Harness harness("table3_weak_scaling", argc, argv);
+  auto& opt = harness.options();
+  harness.banner("Table 3 - weak scaling efficiencies",
+                 "paper Table 3 and Fig. 7 left panel");
 
   // ---------------- (a) real runs: fixed per-rank brick ----------------
   {
@@ -39,6 +40,10 @@ int main(int argc, char** argv) {
                                          local_nx * dims[1],
                                          local_nx * dims[2]};
       const auto r = bench::measure_real_vlasov(ranks, global, nu, steps);
+      harness.add_phase(
+          "vlasov_step_ranks_" + std::to_string(ranks), r.step_seconds, 1,
+          static_cast<double>(global[0]) * global[1] * global[2] * nu * nu *
+              nu);
       char grid[48];
       std::snprintf(grid, sizeof(grid), "%dx%dx%d x %d^3", global[0],
                     global[1], global[2], nu);
@@ -70,6 +75,11 @@ int main(int argc, char** argv) {
           io::TableWriter::fmt_pct(getter(times[0]) / getter(times[i])));
     return cells;
   };
+  harness.metric("weak_eff_total_s2_h1024",
+                 times.front().total() / times.back().total());
+  harness.metric("weak_eff_vlasov_s2_h1024",
+                 (times.front().vlasov + times.front().comm_vlasov) /
+                     (times.back().vlasov + times.back().comm_vlasov));
   table.row(eff_row("total", [](const bench::PartTimes& t) {
     return t.total();
   }));

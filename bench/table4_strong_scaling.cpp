@@ -6,15 +6,16 @@
 #include <cstdio>
 #include <map>
 
-#include "bench_util.hpp"
+#include "harness.hpp"
 #include "scaling_harness.hpp"
 
 using namespace v6d;
 
 int main(int argc, char** argv) {
-  Options opt(argc, argv);
-  bench::banner("Table 4 - strong scaling efficiencies",
-                "paper Table 4 and Fig. 7 right panel");
+  bench::Harness harness("table4_strong_scaling", argc, argv);
+  auto& opt = harness.options();
+  harness.banner("Table 4 - strong scaling efficiencies",
+                 "paper Table 4 and Fig. 7 right panel");
 
   // ---------------- (a) real runs: fixed global grid ----------------
   {
@@ -33,6 +34,11 @@ int main(int argc, char** argv) {
       // 2-core host, >2 ranks oversubscribe, so compare against the
       // per-rank compute share instead of ideal wall time.
       const double eff = t1 / (ranks * r.step_seconds);
+      harness.add_phase("vlasov_step_ranks_" + std::to_string(ranks),
+                        r.step_seconds, 1,
+                        static_cast<double>(nx_global) * nx_global *
+                            nx_global * nu * nu * nu);
+      harness.metric("work_eff_ranks_" + std::to_string(ranks), eff);
       table.row({std::to_string(ranks), io::TableWriter::fmt(r.step_seconds, 3),
                  io::TableWriter::fmt(r.comm_seconds, 3),
                  io::TableWriter::fmt_pct(eff)});

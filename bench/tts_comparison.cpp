@@ -4,8 +4,8 @@
 // matched *effective* neutrino resolution per the paper's Eq. (9)-(10).
 #include <cstdio>
 
-#include "bench_util.hpp"
 #include "cosmology/neutrino_ic.hpp"
+#include "harness.hpp"
 #include "cosmology/zeldovich.hpp"
 #include "diagnostics/noise.hpp"
 #include "diagnostics/spectra.hpp"
@@ -16,9 +16,10 @@
 using namespace v6d;
 
 int main(int argc, char** argv) {
-  Options opt(argc, argv);
-  bench::banner("Time-to-solution: hybrid Vlasov/N-body vs pure N-body",
-                "paper §7.2 (TianNu comparison; Eq. 9-10)");
+  bench::Harness harness("tts_comparison", argc, argv);
+  auto& opt = harness.options();
+  harness.banner("Time-to-solution: hybrid Vlasov/N-body vs pure N-body",
+                 "paper §7.2 (TianNu comparison; Eq. 9-10)");
 
   bench::HybridRunConfig cfg;
   cfg.box = 1200.0;
@@ -122,6 +123,14 @@ int main(int argc, char** argv) {
              "P_hi-k/P_Poisson = " + io::TableWriter::fmt(shot_excess, 3)});
   table.print();
 
+  // End-to-end wall times (ICs + evolution + snapshot I/O, as in §7.2) —
+  // reps=1 so seconds_per_rep never reads as a per-step rate.
+  harness.add_phase("hybrid_run", t_hybrid);
+  harness.add_phase("nbody_run", t_nbody);
+  harness.metric("hybrid_steps", run.steps_taken);
+  harness.metric("nbody_steps", nbody_steps);
+  harness.metric("tts_ratio_nbody_over_hybrid", t_nbody / t_hybrid, "x");
+  harness.metric("nbody_shot_noise_excess", shot_excess);
   std::printf(
       "\n  ratio (N-body / hybrid): %.2fx\n", t_nbody / t_hybrid);
   std::printf(

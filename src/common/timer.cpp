@@ -47,4 +47,14 @@ void TimerRegistry::clear() {
   samples_.clear();
 }
 
+void TimerRegistry::merge(const TimerRegistry& other,
+                          const std::string& prefix) {
+  for (const auto& [name, seconds] : other.totals_)
+    totals_[prefix + name] += seconds;
+  for (const auto& [name, samples] : other.samples_) {
+    auto& dst = samples_[prefix + name];
+    dst.insert(dst.end(), samples.begin(), samples.end());
+  }
+}
+
 }  // namespace v6d

@@ -42,6 +42,11 @@ class TimerRegistry {
   std::vector<std::string> buckets() const;
   void clear();
 
+  /// Fold another registry into this one, bucket names prefixed with
+  /// `prefix` (totals add, samples append).  Lets the driver surface its
+  /// own buckets and the solver's through one report.
+  void merge(const TimerRegistry& other, const std::string& prefix = "");
+
  private:
   std::map<std::string, double> totals_;
   std::map<std::string, std::vector<double>> samples_;

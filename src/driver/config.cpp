@@ -56,6 +56,7 @@ void SimulationConfig::apply(const Options& options) {
   checkpoint_dir = options.get("checkpoint_dir", checkpoint_dir);
   wall_budget_s = options.get_double("wall_budget_s", wall_budget_s);
   progress_every = options.get_int("progress_every", progress_every);
+  perf_report = options.get("perf_report", perf_report);
 }
 
 std::map<std::string, std::string> SimulationConfig::to_kv() const {
@@ -82,6 +83,7 @@ std::map<std::string, std::string> SimulationConfig::to_kv() const {
   kv["checkpoint_dir"] = checkpoint_dir;
   kv["wall_budget_s"] = fmt_double(wall_budget_s);
   kv["progress_every"] = fmt_int(progress_every);
+  kv["perf_report"] = perf_report;
   return kv;
 }
 

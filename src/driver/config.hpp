@@ -47,6 +47,8 @@ struct SimulationConfig {
   std::string checkpoint_dir = "checkpoint";  // also written on early stop
   double wall_budget_s = 0.0;  // wall-clock budget for run() (0 = off)
   int progress_every = 0;      // progress line cadence in steps (0 = quiet)
+  std::string perf_report = "";  // v6d-perf/1 JSON path, written when run()
+                                 // stops ("" = off)
 
   /// Overwrite every field whose key is present in `options` (or in the
   /// V6D_* environment).  Absent keys keep their current values, so the

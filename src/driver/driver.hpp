@@ -61,6 +61,12 @@ class Driver {
   /// Throws std::runtime_error on I/O failure.
   void write_checkpoint(const std::string& dir) const;
 
+  /// Write the per-phase timers (driver buckets + the solver's vlasov /
+  /// pm / tree buckets) as a v6d-perf/1 JSON report.  run() calls this
+  /// automatically when config().perf_report is non-empty.  Throws
+  /// std::runtime_error on I/O failure.
+  void write_perf_report(const std::string& path) const;
+
   hybrid::HybridSolver& solver() { return *solver_; }
   const hybrid::HybridSolver& solver() const { return *solver_; }
   const SimulationConfig& config() const { return cfg_; }

@@ -27,10 +27,10 @@ inline simd::Pack<float, L> mp_limit_vec(simd::Pack<float, L> g,
                                          simd::Pack<float, L> f0,
                                          simd::Pack<float, L> fp1,
                                          simd::Pack<float, L> fp2,
-                                         simd::Pack<float, L> alpha) {
+                                         simd::Pack<float, L> alpha,
+                                         simd::Pack<float, L> alpha_third) {
   using P = simd::Pack<float, L>;
   const P half = P::broadcast(0.5f);
-  const P third = P::broadcast(1.0f / 3.0f);
   const P one = P::broadcast(1.0f);
   const P eps = P::broadcast(1e-20f);
 
@@ -48,8 +48,11 @@ inline simd::Pack<float, L> mp_limit_vec(simd::Pack<float, L> g,
   const P f_ul = f0 + alpha * (f0 - fm1);
   const P f_av = half * (f0 + fp1);
   const P f_md = f_av - half * d_half_p;
+  // alpha_third is the pre-rounded alpha / 3.0f so the result stays
+  // bit-identical to the scalar reference (which divides; a * (1/3)
+  // rounds differently).
   const P f_lc = f0 + half * simd::min(one, alpha) * (f0 - fm1) +
-                 alpha * third * d_half_m;
+                 alpha_third * d_half_m;
 
   const P f_min =
       simd::max(simd::min(simd::min(f0, fp1), f_md),
@@ -68,6 +71,7 @@ struct VecShift {
   P w0, w1, w2, w3, w4;  // fractional flux weights per lane
   P theta, inv_theta;    // fractional shift per lane (inv 0 when theta ~ 0)
   P alpha;               // per-lane adaptive Suresh-Huynh alpha
+  P alpha_third;         // alpha / 3.0f (pre-rounded, matches scalar)
   int s = 0;             // lane-uniform integer shift
   bool limit = false;    // apply the MP limiter (any lane has theta > 0)
   bool pure_shift = false;  // every lane is an exact whole-cell translation
@@ -100,7 +104,9 @@ struct VecShift {
       vs.theta.set(l, static_cast<float>(theta));
       vs.inv_theta.set(
           l, theta > 1e-12 ? static_cast<float>(1.0 / theta) : 0.0f);
-      vs.alpha.set(l, mp_alpha_for(theta));
+      const float alpha = mp_alpha_for(theta);
+      vs.alpha.set(l, alpha);
+      vs.alpha_third.set(l, alpha / 3.0f);
       if (limiter != Limiter::kNone && theta > 1e-12) vs.limit = true;
       vs.max_ghost = std::max(vs.max_ghost, required_ghost(xi[l]));
     }
@@ -141,7 +147,9 @@ void sl_mpp5_kernel_vec(const float* in, std::ptrdiff_t cs, float* out,
                                         simd::fma(vs.w1, fm1, vs.w0 * fm2))));
     if (vs.limit) {
       const P g = F * vs.inv_theta;
-      const P g_lim = mp_limit_vec<L>(g, fm2, fm1, f0, fp1, fp2, vs.alpha);
+      const P g_lim =
+          mp_limit_vec<L>(g, fm2, fm1, f0, fp1, fp2, vs.alpha,
+                          vs.alpha_third);
       // Lanes with theta ~ 0 keep their (zero) raw flux.
       const auto active = vs.theta > P::broadcast(1e-12f);
       F = simd::select<float, L>(active, vs.theta * g_lim, F);

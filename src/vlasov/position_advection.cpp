@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "vlasov/sweeps.hpp"
 
@@ -11,6 +12,13 @@ namespace v6d::vlasov {
 // depends on the iux / iuy index), so lane groups share one xi.  For the z
 // sweep the speed varies per lane (it *is* u_z), so the per-lane-shift
 // kernel is used.
+//
+// The per-line shift depends only on the velocity index, never on the
+// spatial line, so the whole shift table is computed once per sweep and
+// shared by every thread — the hot loop reduces to table lookups plus the
+// line kernels.  Threading is over spatial lines (collapse(2)); each
+// thread keeps one reusable AdvectWorkspace so the kernels never allocate
+// in steady state.
 void advect_position_axis(PhaseSpace& f, int axis, double drift_factor,
                           SweepKernel kernel) {
   const auto& d = f.dims();
@@ -25,15 +33,31 @@ void advect_position_axis(PhaseSpace& f, int axis, double drift_factor,
 
   const int t1n = axis == 0 ? d.ny : d.nx;
   const int t2n = axis == 2 ? d.ny : d.nz;
-  const bool scalar = kernel == SweepKernel::kScalar;
+  const SweepKernel resolved =
+      simd::resolve_sweep_kernel(kernel, /*contiguous_axis=*/false);
+  const bool scalar = resolved == SweepKernel::kScalar;
   const double inv_dx_drift = drift_factor / dx;
+
+  // Shift tables, hoisted out of the spatial loops: for the x/y sweeps xi
+  // is indexed by iux (resp. iuy); for the z sweep it is indexed by iuz
+  // (one entry per lane of a group).
+  std::vector<double> xi_table;
+  if (axis == 0) {
+    xi_table.resize(static_cast<std::size_t>(d.nux));
+    for (int a = 0; a < d.nux; ++a) xi_table[a] = g.ux(a) * inv_dx_drift;
+  } else if (axis == 1) {
+    xi_table.resize(static_cast<std::size_t>(d.nuy));
+    for (int b = 0; b < d.nuy; ++b) xi_table[b] = g.uy(b) * inv_dx_drift;
+  } else {
+    xi_table.resize(static_cast<std::size_t>(d.nuz));
+    for (int c = 0; c < d.nuz; ++c) xi_table[c] = g.uz(c) * inv_dx_drift;
+  }
 
 #ifdef _OPENMP
 #pragma omp parallel
 #endif
   {
     AdvectWorkspace ws;
-    double xi_lanes[kLanes];
 #ifdef _OPENMP
 #pragma omp for collapse(2) schedule(static)
 #endif
@@ -54,8 +78,7 @@ void advect_position_axis(PhaseSpace& f, int axis, double drift_factor,
         for (int a = 0; a < d.nux; ++a) {
           for (int b = 0; b < d.nuy; ++b) {
             if (axis == 0 || axis == 1) {
-              const double u = axis == 0 ? g.ux(a) : g.uy(b);
-              const double xi = u * inv_dx_drift;
+              const double xi = xi_table[axis == 0 ? a : b];
               int c = 0;
               for (; !scalar && c + kLanes <= d.nuz; c += kLanes) {
                 float* line0 = base_block + f.velocity_index(a, b, c);
@@ -73,19 +96,17 @@ void advect_position_axis(PhaseSpace& f, int axis, double drift_factor,
               // z sweep: xi varies across the uz lanes.
               int c = 0;
               for (; !scalar && c + kLanes <= d.nuz; c += kLanes) {
-                for (int l = 0; l < kLanes; ++l)
-                  xi_lanes[l] = g.uz(c + l) * inv_dx_drift;
                 float* line0 = base_block + f.velocity_index(a, b, c);
                 advect_lines_simd_multi(line0, cell_stride, line0,
-                                        cell_stride, n, xi_lanes,
+                                        cell_stride, n, &xi_table[c],
                                         Limiter::kMpp, GhostMode::kFromSource,
                                         ws);
               }
               for (; c < d.nuz; ++c) {
-                const double xi = g.uz(c) * inv_dx_drift;
                 float* line0 = base_block + f.velocity_index(a, b, c);
                 advect_line_strided_scalar(line0, cell_stride, line0,
-                                           cell_stride, n, xi, Limiter::kMpp,
+                                           cell_stride, n, xi_table[c],
+                                           Limiter::kMpp,
                                            GhostMode::kFromSource, ws);
               }
             }

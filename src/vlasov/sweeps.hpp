@@ -7,17 +7,21 @@
 // acceleration -grad(phi); they are communication-free (§5.1.3).
 //
 // Every sweep can run with three interchangeable kernels (scalar reference,
-// multi-lane SIMD, LAT); kAuto picks SIMD for the five non-contiguous axes
-// and LAT for uz, the memory-contiguous axis (paper Table 1).
+// multi-lane SIMD, LAT); kAuto resolves through simd::resolve_sweep_kernel
+// (V6D_KERNEL override, then the paper's Table-1 choice: SIMD for the five
+// non-contiguous axes, LAT for uz, the memory-contiguous axis).
 #pragma once
 
 #include "mesh/grid.hpp"
+#include "simd/dispatch.hpp"
 #include "vlasov/advect_kernels.hpp"
 #include "vlasov/phase_space.hpp"
 
 namespace v6d::vlasov {
 
-enum class SweepKernel { kScalar, kSimd, kLat, kAuto };
+/// Kernel policy for the sweeps; resolution lives in simd/dispatch so the
+/// whole stack (sweeps, hybrid solver, benches) shares one dispatch point.
+using SweepKernel = simd::SweepKernel;
 
 /// Advect along spatial axis (0=x, 1=y, 2=z).  xi per line is
 /// u_axis(velocity index) * drift_factor / dx_axis; requires |xi| <= 1
@@ -30,6 +34,17 @@ void advect_position_axis(PhaseSpace& f, int axis, double drift_factor,
 void advect_velocity_axis(PhaseSpace& f, int axis,
                           const mesh::Grid3D<double>& accel, double dt,
                           SweepKernel kernel);
+
+/// Fused velocity kick: apply all three velocity-axis sweeps to each
+/// spatial cell's velocity block while it is cache-hot (one pass over the
+/// 6-D array instead of three).  Velocity sweeps are independent across
+/// spatial cells, so the result is bit-identical to calling
+/// advect_velocity_axis for axes 0, 1, 2 in sequence — the fusion only
+/// changes the memory-traffic pattern.  This is the production kick path.
+void advect_velocity_all(PhaseSpace& f, const mesh::Grid3D<double>& gx,
+                         const mesh::Grid3D<double>& gy,
+                         const mesh::Grid3D<double>& gz, double dt,
+                         SweepKernel kernel);
 
 /// Largest |xi| any position sweep would see for the given drift factor
 /// (used for CFL-limited timestep selection).
