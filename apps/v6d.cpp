@@ -32,7 +32,8 @@ int usage(std::FILE* out) {
                "common keys: a_final, da_max, max_steps, wall_budget_s,\n"
                "             checkpoint_every, checkpoint_dir,\n"
                "             progress_every, perf_report, seed, box, nx,\n"
-               "             nu, np, mnu   (see docs/CONFIG.md for all)\n");
+               "             nu, np, mnu, ranks, decomp\n"
+               "             (see docs/CONFIG.md for all)\n");
   return out == stdout ? 0 : 2;
 }
 

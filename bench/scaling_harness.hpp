@@ -27,12 +27,15 @@
 #include "comm/perfmodel.hpp"
 #include "comm/runner.hpp"
 #include "common/timer.hpp"
+#include "cosmology/background.hpp"
 #include "gravity/tree.hpp"
 #include "gravity/poisson.hpp"
+#include "hybrid/hybrid_solver.hpp"
 #include "mesh/decomposition.hpp"
 #include "mesh/halo.hpp"
 #include "nbody/particles.hpp"
 #include "common/rng.hpp"
+#include "parallel/distributed_solver.hpp"
 #include "vlasov/sweeps.hpp"
 
 namespace v6d::bench {
@@ -290,6 +293,94 @@ inline RealVlasovResult measure_real_vlasov(int ranks,
                                    comm_time[static_cast<std::size_t>(r)]);
     result.bytes_per_rank = std::max(result.bytes_per_rank,
                                      bytes[static_cast<std::size_t>(r)]);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Real distributed KDK steps (the production execution path).
+// ---------------------------------------------------------------------------
+struct DistributedStepResult {
+  double step_seconds = 0.0;  // per step, max over ranks
+  double halo_seconds = 0.0;  // phase-space halo exchange, max over ranks
+  double pm_seconds = 0.0;    // distributed PM solve, max over ranks
+  std::uint64_t bytes_per_rank = 0;  // all comm (halo + FFT + reductions)
+  std::array<int, 3> global{};       // global Vlasov grid used
+};
+
+/// Run `steps` full KDK steps of parallel::DistributedHybridSolver — halo
+/// exchange, ghost fold, distributed-FFT Poisson, allreduced CFL — on
+/// `ranks` simulated ranks with a fixed local_n^3 brick per rank (weak
+/// scaling).  This is the same code path `v6d run ranks=N` executes.
+inline DistributedStepResult measure_distributed_step(int ranks, int local_n,
+                                                      int nu, int steps) {
+  DistributedStepResult result;
+  const auto dims = comm::CartTopology::choose_dims(ranks);
+  const std::array<int, 3> global = {local_n * dims[0], local_n * dims[1],
+                                     local_n * dims[2]};
+  result.global = global;
+
+  // Global vlasov-only solver with smooth ICs; the distributed solver
+  // shards it exactly as the driver does.
+  vlasov::PhaseSpaceDims d;
+  d.nx = global[0];
+  d.ny = global[1];
+  d.nz = global[2];
+  d.nux = d.nuy = d.nuz = nu;
+  vlasov::PhaseSpaceGeometry g;
+  const double box = static_cast<double>(global[0]);
+  g.dx = box / global[0];
+  g.dy = box / global[1];
+  g.dz = box / global[2];
+  g.umax = 1.0;
+  g.dux = g.duy = g.duz = 2.0 / nu;
+  vlasov::PhaseSpace f(d, g);
+  for (int i = 0; i < d.nx; ++i)
+    for (int j = 0; j < d.ny; ++j)
+      for (int k = 0; k < d.nz; ++k) {
+        float* blk = f.block(i, j, k);
+        for (std::size_t v = 0; v < f.block_size(); ++v)
+          blk[v] = 0.4f + 0.1f * static_cast<float>(
+                                     std::sin(0.5 * i + 0.3 * j + 0.7 * k));
+      }
+  hybrid::HybridOptions options;
+  options.pm_grid = global[0];  // divisible by every dims axis
+  options.enable_tree = false;
+  const cosmo::Params params = cosmo::Params::planck2015(0.4);
+  const cosmo::Background bg(params);
+  hybrid::HybridSolver solver(std::move(f), nbody::Particles(), box, bg,
+                              options);
+
+  std::vector<double> step_time(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<double> halo_time(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<double> pm_time(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<std::uint64_t> bytes(static_cast<std::size_t>(ranks), 0);
+
+  comm::run(ranks, [&](comm::Communicator& comm) {
+    parallel::DistributedHybridSolver ds(solver, comm, dims);
+    comm.reset_traffic_counters();
+    comm.barrier();
+    Stopwatch total;
+    double a = 0.5;
+    for (int s = 0; s < steps; ++s) {
+      const double a1 = ds.suggest_next_a(a, 0.05);
+      ds.step(a, a1);
+      a = a1;
+    }
+    comm.barrier();
+    const auto r = static_cast<std::size_t>(comm.rank());
+    step_time[r] = total.seconds() / steps;
+    halo_time[r] = ds.timers().total("halo") / steps;
+    pm_time[r] = ds.timers().total("pm") / steps;
+    bytes[r] = comm.bytes_sent() / static_cast<std::uint64_t>(steps);
+  });
+
+  for (int r = 0; r < ranks; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    result.step_seconds = std::max(result.step_seconds, step_time[i]);
+    result.halo_seconds = std::max(result.halo_seconds, halo_time[i]);
+    result.pm_seconds = std::max(result.pm_seconds, pm_time[i]);
+    result.bytes_per_rank = std::max(result.bytes_per_rank, bytes[i]);
   }
   return result;
 }

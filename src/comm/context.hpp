@@ -12,27 +12,44 @@
 namespace v6d::comm {
 
 /// Reusable generation barrier (std::barrier without completion step,
-/// usable an unbounded number of times).
+/// usable an unbounded number of times).  Supports abort(): every current
+/// and future waiter throws AbortedError instead of blocking on ranks
+/// that will never arrive.
 class Barrier {
  public:
   explicit Barrier(int count) : count_(count), waiting_(0), generation_(0) {}
 
   void arrive_and_wait() {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (aborted_) throw AbortedError();
     const std::uint64_t gen = generation_;
     if (++waiting_ == count_) {
       waiting_ = 0;
       ++generation_;
       cv_.notify_all();
     } else {
-      cv_.wait(lock, [&] { return generation_ != gen; });
+      cv_.wait(lock, [&] { return generation_ != gen || aborted_; });
+      if (generation_ == gen) {
+        // Woken by abort before the barrier completed.
+        --waiting_;
+        throw AbortedError();
+      }
     }
+  }
+
+  void abort() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+    }
+    cv_.notify_all();
   }
 
  private:
   int count_;
   int waiting_;
   std::uint64_t generation_;
+  bool aborted_ = false;
   std::mutex mutex_;
   std::condition_variable cv_;
 };
@@ -44,11 +61,25 @@ class Context {
         mailboxes_(nranks),
         barrier_(nranks),
         stage_(nranks, nullptr),
-        stage_bytes_(nranks, 0) {}
+        stage_bytes_(nranks, 0) {
+    for (auto& mailbox : mailboxes_) mailbox.set_abort_flag(&aborted_);
+  }
 
   int size() const { return nranks_; }
   Mailbox& mailbox(int rank) { return mailboxes_[rank]; }
   Barrier& barrier() { return barrier_; }
+
+  /// Mark the context dead and wake every rank blocked in Mailbox::pop or
+  /// Barrier::arrive_and_wait; they throw AbortedError.  Called by
+  /// comm::run when a rank's body throws, so peers cannot hang forever on
+  /// messages or barrier arrivals that will never come.  Idempotent; the
+  /// context is unusable afterwards.
+  void abort() noexcept {
+    if (aborted_.exchange(true, std::memory_order_acq_rel)) return;
+    barrier_.abort();
+    for (auto& mailbox : mailboxes_) mailbox.notify_abort();
+  }
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
   /// Pointer staging area used by the collectives: every rank publishes a
   /// pointer, synchronizes, reads peers' pointers, synchronizes again.
@@ -63,6 +94,7 @@ class Context {
   int nranks_;
   std::vector<Mailbox> mailboxes_;
   Barrier barrier_;
+  std::atomic<bool> aborted_{false};
   std::vector<const void*> stage_;
   std::vector<std::size_t> stage_bytes_;
 };

@@ -14,12 +14,17 @@ std::vector<std::uint8_t> Mailbox::pop(int source, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   const Key key{source, tag};
   cv_.wait(lock, [&] {
+    if (abort_ && abort_->load(std::memory_order_acquire)) return true;
     auto it = queues_.find(key);
     return it != queues_.end() && !it->second.empty();
   });
-  auto& queue = queues_[key];
-  std::vector<std::uint8_t> payload = std::move(queue.front());
-  queue.pop_front();
+  auto it = queues_.find(key);
+  if (it == queues_.end() || it->second.empty()) throw AbortedError();
+  std::vector<std::uint8_t> payload = std::move(it->second.front());
+  it->second.pop_front();
+  // Trim drained queues: tags are often step- or phase-scoped, so keeping
+  // empty deques around grows the map unboundedly over long runs.
+  if (it->second.empty()) queues_.erase(it);
   return payload;
 }
 
@@ -27,6 +32,17 @@ bool Mailbox::probe(int source, int tag) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = queues_.find({source, tag});
   return it != queues_.end() && !it->second.empty();
+}
+
+void Mailbox::notify_abort() {
+  // Lock to pair with the waiter's predicate check (no lost wakeups).
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::queue_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queues_.size();
 }
 
 }  // namespace v6d::comm

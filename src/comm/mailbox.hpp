@@ -4,31 +4,60 @@
 // exchange cycles cannot deadlock; recv() blocks until a message with a
 // matching (source, tag) arrives.  Message order between a fixed
 // (source, tag) pair is FIFO, mirroring MPI's non-overtaking guarantee.
+//
+// Blocking pops also observe a context-wide abort flag (installed by
+// Context): when a peer rank dies, every waiter is woken and throws
+// AbortedError instead of blocking forever on a message that will never
+// arrive.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 namespace v6d::comm {
+
+/// Thrown out of blocking comm operations when the owning Context has been
+/// aborted (a peer rank threw).  comm::run suppresses these in favour of
+/// the original error.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError()
+      : std::runtime_error("comm: context aborted (a peer rank failed)") {}
+};
 
 class Mailbox {
  public:
   void push(int source, int tag, std::vector<std::uint8_t> payload);
   /// Blocks until a matching message arrives; returns its payload.
+  /// Throws AbortedError if the context is aborted while waiting.
   std::vector<std::uint8_t> pop(int source, int tag);
   /// Non-blocking probe: true if a matching message is queued.
   bool probe(int source, int tag);
 
+  /// Install the context-wide abort flag consulted by blocking pops.
+  /// Must be called before any rank thread touches the mailbox.
+  void set_abort_flag(const std::atomic<bool>* abort) { abort_ = abort; }
+  /// Wake every blocked pop so it can observe the abort flag.
+  void notify_abort();
+
+  /// Number of live (source, tag) queues.  pop() erases a queue it has
+  /// drained, so long runs cycling through step-scoped tags do not grow
+  /// the map without bound; tests assert on this.
+  std::size_t queue_count() const;
+
  private:
   using Key = std::pair<int, int>;  // (source, tag)
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<Key, std::deque<std::vector<std::uint8_t>>> queues_;
+  const std::atomic<bool>* abort_ = nullptr;
 };
 
 }  // namespace v6d::comm

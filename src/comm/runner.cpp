@@ -22,9 +22,17 @@ void run(int nranks, const std::function<void(Communicator&)>& fn) {
       Communicator comm(&ctx, r);
       try {
         fn(comm);
+      } catch (const AbortedError&) {
+        // A peer already failed and aborted the context; its error is the
+        // one worth reporting, so secondary unwind noise is dropped.
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Wake peers blocked in Mailbox::pop / Barrier::arrive_and_wait on
+        // this rank's never-coming messages so join() below returns.
+        ctx.abort();
       }
       log::set_rank(-1);
     });

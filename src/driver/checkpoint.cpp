@@ -14,7 +14,13 @@ namespace v6d::driver {
 
 namespace {
 
-constexpr unsigned kVersion = 1;
+// Version 2 added the per-rank shard list of distributed checkpoints; a
+// version-1 reader would silently ignore the shard fields and resume a
+// neutrino run from a zeroed phase space, so the bump makes it fail with
+// kVersionMismatch instead.  Version-1 (serial) checkpoints remain
+// readable: every field this reader requires existed then.
+constexpr unsigned kVersion = 2;
+constexpr unsigned kMinVersion = 1;
 constexpr const char* kMagicToken = "v6d-checkpoint";
 constexpr const char* kMetaName = "meta";
 constexpr std::uint32_t kForcesMagic = 0x76364643;  // "v6FC"
@@ -45,8 +51,10 @@ bool read_raw(std::FILE* fp, T* data, std::size_t count) {
   return std::fread(data, sizeof(T), count, fp) == count;
 }
 
-io::SnapshotStatus write_forces(const std::string& path,
-                                const hybrid::HybridSolver::StepForces& sf) {
+}  // namespace
+
+io::SnapshotStatus write_step_forces(
+    const std::string& path, const hybrid::HybridSolver::StepForces& sf) {
   FilePtr fp(std::fopen(path.c_str(), "wb"));
   if (!fp) return io::SnapshotStatus::kOpenFailed;
   const std::uint32_t magic = kForcesMagic, version = kVersion;
@@ -67,8 +75,8 @@ io::SnapshotStatus write_forces(const std::string& path,
   return io::SnapshotStatus::kOk;
 }
 
-io::SnapshotStatus read_forces(const std::string& path,
-                               hybrid::HybridSolver::StepForces& sf) {
+io::SnapshotStatus read_step_forces(const std::string& path,
+                                    hybrid::HybridSolver::StepForces& sf) {
   FilePtr fp(std::fopen(path.c_str(), "rb"));
   if (!fp) return io::SnapshotStatus::kOpenFailed;
   std::uint32_t magic = 0, version = 0, fresh = 0;
@@ -77,7 +85,8 @@ io::SnapshotStatus read_forces(const std::string& path,
   if (!read_raw(fp.get(), &magic, 1)) return io::SnapshotStatus::kShortRead;
   if (magic != kForcesMagic) return io::SnapshotStatus::kBadMagic;
   if (!read_raw(fp.get(), &version, 1)) return io::SnapshotStatus::kShortRead;
-  if (version != kVersion) return io::SnapshotStatus::kVersionMismatch;
+  if (version < kMinVersion || version > kVersion)
+    return io::SnapshotStatus::kVersionMismatch;
   if (!read_raw(fp.get(), &fresh, 1) || !read_raw(fp.get(), dims, 4) ||
       !read_raw(fp.get(), &n, 1))
     return io::SnapshotStatus::kShortRead;
@@ -128,8 +137,6 @@ io::SnapshotStatus read_forces(const std::string& path,
       return io::SnapshotStatus::kShortRead;
   return io::SnapshotStatus::kOk;
 }
-
-}  // namespace
 
 unsigned checkpoint_version() { return kVersion; }
 
@@ -199,7 +206,7 @@ io::SnapshotStatus write_checkpoint(
     meta.forces_file = "forces." + tag + ".bin";
     const auto status =
         write_payload(meta.forces_file, [&](const std::string& tmp) {
-          return write_forces(tmp, *forces);
+          return write_step_forces(tmp, *forces);
         });
     if (status != io::SnapshotStatus::kOk) return status;
   }
@@ -227,6 +234,9 @@ io::SnapshotStatus write_checkpoint(
     out << "phase_space_file=" << meta.phase_space_file << "\n";
     out << "particles_file=" << meta.particles_file << "\n";
     out << "forces_file=" << meta.forces_file << "\n";
+    out << "phase_space_shards=" << meta.shard_files.size() << "\n";
+    for (std::size_t r = 0; r < meta.shard_files.size(); ++r)
+      out << "shard" << r << "=" << meta.shard_files[r] << "\n";
     for (const auto& [key, value] : meta.config.to_kv())
       out << "cfg." << key << "=" << value << "\n";
     out.flush();
@@ -242,16 +252,24 @@ io::SnapshotStatus write_checkpoint(
   }
 
   // Garbage-collect payloads superseded by the meta that just landed
-  // (best-effort; leftovers are harmless).
+  // (best-effort; leftovers are harmless).  Per-rank shard payloads the
+  // new meta references are live too.
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     if (ec) break;
     const std::string name = entry.path().filename().string();
     const bool is_payload = name.rfind("phase_space.", 0) == 0 ||
                             name.rfind("particles.", 0) == 0 ||
                             name.rfind("forces.", 0) == 0;
-    if (is_payload && name != meta.phase_space_file &&
-        name != meta.particles_file && name != meta.forces_file)
-      fs::remove(entry.path(), ec);
+    if (!is_payload || name == meta.phase_space_file ||
+        name == meta.particles_file || name == meta.forces_file)
+      continue;
+    bool is_live_shard = false;
+    for (const auto& shard : meta.shard_files)
+      if (name == shard) {
+        is_live_shard = true;
+        break;
+      }
+    if (!is_live_shard) fs::remove(entry.path(), ec);
   }
   return io::SnapshotStatus::kOk;
 }
@@ -279,9 +297,10 @@ io::SnapshotStatus read_checkpoint_meta(const std::string& dir,
     set_error(error, meta_path + ": missing version");
     return io::SnapshotStatus::kShortRead;
   }
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     std::ostringstream oss;
-    oss << meta_path << ": version " << version << ", expected " << kVersion;
+    oss << meta_path << ": version " << version << ", expected "
+        << kMinVersion << ".." << kVersion;
     set_error(error, oss.str());
     return io::SnapshotStatus::kVersionMismatch;
   }
@@ -324,10 +343,33 @@ io::SnapshotStatus read_checkpoint_meta(const std::string& dir,
   meta.phase_space_file = fields["phase_space_file"];
   meta.particles_file = fields["particles_file"];
   meta.forces_file = fields["forces_file"];
+  // Per-rank shard list (distributed checkpoints; absent in serial ones).
+  meta.shard_files.clear();
+  if (fields.count("phase_space_shards")) {
+    const std::string& count_str = fields["phase_space_shards"];
+    char* end = nullptr;
+    const long shards = std::strtol(count_str.c_str(), &end, 10);
+    if (count_str.empty() || end == nullptr || *end != '\0' || shards < 0 ||
+        shards > 1 << 20) {
+      set_error(error, meta_path + ": implausible shard count '" +
+                           count_str + "'");
+      return io::SnapshotStatus::kBadHeader;
+    }
+    for (long r = 0; r < shards; ++r) {
+      const std::string key = "shard" + std::to_string(r);
+      if (!fields.count(key)) {
+        set_error(error, meta_path + ": missing field '" + key + "'");
+        return io::SnapshotStatus::kShortRead;
+      }
+      meta.shard_files.push_back(fields[key]);
+    }
+  }
   // Reject path traversal: payload names must be plain file names inside
   // the checkpoint directory.
-  for (const auto* name :
-       {&meta.phase_space_file, &meta.particles_file, &meta.forces_file})
+  std::vector<const std::string*> names = {
+      &meta.phase_space_file, &meta.particles_file, &meta.forces_file};
+  for (const auto& shard : meta.shard_files) names.push_back(&shard);
+  for (const auto* name : names)
     if (name->find('/') != std::string::npos ||
         name->find("..") != std::string::npos) {
       set_error(error, meta_path + ": payload name escapes the directory");
@@ -374,7 +416,7 @@ io::SnapshotStatus read_checkpoint_payload(
       return io::SnapshotStatus::kBadHeader;
     }
     const std::string path = join(dir, meta.forces_file);
-    const auto status = read_forces(path, *forces);
+    const auto status = read_step_forces(path, *forces);
     if (status != io::SnapshotStatus::kOk) {
       set_error(error, path);
       return status;

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "driver/config.hpp"
@@ -47,6 +48,12 @@ struct Checkpoint {
   /// Payload file names inside the checkpoint directory; filled in by
   /// write_checkpoint and read back from the meta.
   std::string phase_space_file, particles_file, forces_file;
+  /// Distributed runs shard the phase space: one io::snapshot payload per
+  /// rank (rank r's brick in shard_files[r]), written concurrently by the
+  /// rank threads *before* the meta commits.  Mutually exclusive with
+  /// has_phase_space; the meta lists the shards so garbage collection
+  /// keeps them and resume knows the rank count they were written with.
+  std::vector<std::string> shard_files;
 };
 
 /// Format version written by this build.
@@ -69,5 +76,13 @@ io::SnapshotStatus read_checkpoint_payload(
     const std::string& dir, const Checkpoint& meta, vlasov::PhaseSpace* f,
     nbody::Particles* cdm, hybrid::HybridSolver::StepForces* forces,
     std::string* error = nullptr);
+
+/// Step-boundary force-cache payload I/O (one file of the checkpoint
+/// directory), exposed so distributed checkpointing (driver/distributed)
+/// can reuse the exact on-disk format.
+io::SnapshotStatus write_step_forces(
+    const std::string& path, const hybrid::HybridSolver::StepForces& forces);
+io::SnapshotStatus read_step_forces(const std::string& path,
+                                    hybrid::HybridSolver::StepForces& forces);
 
 }  // namespace v6d::driver

@@ -51,6 +51,9 @@ void SimulationConfig::apply(const Options& options) {
   beam_sigma = options.get_double("beam_sigma", beam_sigma);
   perturb_amp = options.get_double("perturb_amp", perturb_amp);
 
+  ranks = options.get_int("ranks", ranks);
+  decomp = options.get("decomp", decomp);
+
   max_steps = options.get_int("max_steps", max_steps);
   checkpoint_every = options.get_int("checkpoint_every", checkpoint_every);
   checkpoint_dir = options.get("checkpoint_dir", checkpoint_dir);
@@ -78,6 +81,8 @@ std::map<std::string, std::string> SimulationConfig::to_kv() const {
   kv["u_beam"] = fmt_double(u_beam);
   kv["beam_sigma"] = fmt_double(beam_sigma);
   kv["perturb_amp"] = fmt_double(perturb_amp);
+  kv["ranks"] = fmt_int(ranks);
+  kv["decomp"] = decomp;
   kv["max_steps"] = fmt_int(max_steps);
   kv["checkpoint_every"] = fmt_int(checkpoint_every);
   kv["checkpoint_dir"] = checkpoint_dir;

@@ -41,6 +41,12 @@ struct SimulationConfig {
   double beam_sigma = 0.3;  // beam thermal width
   double perturb_amp = 0.02;  // seeded k=1 density perturbation
 
+  // --- distributed execution ---
+  int ranks = 1;              // simulated MPI ranks; > 1 runs the
+                              // distributed path (src/parallel/)
+  std::string decomp = "";    // "DXxDYxDZ" rank topology ("" / "auto" =
+                              // pick the most-cubic feasible split)
+
   // --- driver control ---
   int max_steps = 0;          // stop after this many total steps (0 = off)
   int checkpoint_every = 0;   // steps between periodic checkpoints (0 = off)

@@ -1,0 +1,251 @@
+// Distributed run loop and sharded checkpointing (see distributed.hpp and
+// the Driver class comment).
+#include "driver/distributed.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "comm/runner.hpp"
+#include "driver/driver.hpp"
+#include "io/snapshot.hpp"
+#include "parallel/decomp_plan.hpp"
+#include "parallel/distributed_solver.hpp"
+
+namespace v6d::driver {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string shard_name(std::int64_t step, int rank) {
+  return "phase_space." + std::to_string(step) + ".r" +
+         std::to_string(rank) + ".bin";
+}
+
+/// Collective checkpoint write: every rank writes its own phase-space
+/// shard (concurrent I/O), a barrier orders them before rank 0 commits the
+/// meta referencing all of them.  Any rank's failure aborts all ranks with
+/// the same error (the allreduce makes the decision uniform, so no rank
+/// proceeds to a half-written commit).
+void write_distributed_checkpoint(const SimulationConfig& cfg,
+                                  const Xoshiro256::State& rng,
+                                  parallel::DistributedHybridSolver& ds,
+                                  comm::Communicator& comm,
+                                  const std::string& dir, double a,
+                                  std::int64_t step) {
+  std::error_code ec;
+  if (comm.rank() == 0) fs::create_directories(dir, ec);
+  comm.barrier();
+
+  std::int64_t failed = 0;
+  if (ds.has_neutrinos()) {
+    const std::string name = shard_name(step, comm.rank());
+    const std::string path = (fs::path(dir) / name).string();
+    const std::string tmp = path + ".tmp";
+    auto status = io::write_phase_space(tmp, ds.local_f());
+    if (status == io::SnapshotStatus::kOk) {
+      fs::rename(tmp, path, ec);
+      if (ec) status = io::SnapshotStatus::kWriteFailed;
+    }
+    failed = status == io::SnapshotStatus::kOk ? 0 : 1;
+  }
+  failed = comm.allreduce_sum(failed);
+  if (failed > 0)
+    throw std::runtime_error("cannot write checkpoint: " +
+                             std::to_string(failed) +
+                             " rank(s) failed to write phase-space shards");
+
+  // Gather the step-boundary force cache (collective) before the commit.
+  auto forces = ds.export_step_forces_global();
+  comm.barrier();
+
+  if (comm.rank() == 0) {
+    Checkpoint meta;
+    meta.config = cfg;
+    meta.a = a;
+    meta.step = step;
+    meta.rng = rng;
+    meta.has_phase_space = false;
+    meta.has_particles = ds.cdm().size() > 0;
+    meta.has_forces = forces.fresh;
+    if (ds.has_neutrinos())
+      for (int r = 0; r < comm.size(); ++r)
+        meta.shard_files.push_back(shard_name(step, r));
+    std::string detail;
+    const auto status = driver::write_checkpoint(
+        dir, meta, nullptr, meta.has_particles ? &ds.cdm() : nullptr,
+        meta.has_forces ? &forces : nullptr, &detail);
+    if (status != io::SnapshotStatus::kOk)
+      throw std::runtime_error("cannot write checkpoint (" +
+                               std::string(io::to_string(status)) +
+                               "): " + detail);
+  }
+  comm.barrier();
+}
+
+}  // namespace
+
+std::array<int, 3> resolve_run_decomp(const SimulationConfig& cfg,
+                                      const hybrid::HybridSolver& solver) {
+  parallel::DecompConstraints constraints;
+  const auto& d = solver.neutrinos().dims();
+  if (d.total_interior() > 0) {
+    constraints.vlasov = {d.nx, d.ny, d.nz};
+    constraints.vlasov_ghost = d.ghost;
+  }
+  constraints.pm_grid = solver.options().pm_grid;
+  return parallel::resolve_decomp(cfg.decomp, cfg.ranks, constraints);
+}
+
+io::SnapshotStatus assemble_phase_space_shards(const std::string& dir,
+                                               const Checkpoint& meta,
+                                               vlasov::PhaseSpace& global,
+                                               std::string* error) {
+  const auto& gd = global.dims();
+  const auto& gg = global.geom();
+  // The solver was rebuilt with an empty phase space, so a shard set that
+  // under-covers (or doubly covers) the grid would silently resume from
+  // zeroed or overwritten bricks; track per-cell coverage and reject
+  // anything but an exact tiling.
+  std::vector<std::uint8_t> covered(gd.spatial_cells(), 0);
+  auto cover = [&](int i, int j, int k) -> std::uint8_t& {
+    return covered[(static_cast<std::size_t>(i) * gd.ny + j) * gd.nz + k];
+  };
+  for (const auto& name : meta.shard_files) {
+    const std::string path = (fs::path(dir) / name).string();
+    vlasov::PhaseSpace shard;
+    const auto status = io::read_phase_space(path, shard);
+    if (status != io::SnapshotStatus::kOk) {
+      if (error) *error = path;
+      return status;
+    }
+    const auto& sd = shard.dims();
+    const auto& sg = shard.geom();
+    // Placement from the shard's geometry origin (written brick-shifted).
+    const int oi = static_cast<int>(std::lround((sg.x0 - gg.x0) / gg.dx));
+    const int oj = static_cast<int>(std::lround((sg.y0 - gg.y0) / gg.dy));
+    const int ok = static_cast<int>(std::lround((sg.z0 - gg.z0) / gg.dz));
+    if (sd.nux != gd.nux || sd.nuy != gd.nuy || sd.nuz != gd.nuz ||
+        oi < 0 || oj < 0 || ok < 0 || oi + sd.nx > gd.nx ||
+        oj + sd.ny > gd.ny || ok + sd.nz > gd.nz) {
+      if (error) *error = path + ": shard does not fit the configured grid";
+      return io::SnapshotStatus::kBadHeader;
+    }
+    const std::size_t bytes = global.block_size() * sizeof(float);
+    for (int i = 0; i < sd.nx; ++i)
+      for (int j = 0; j < sd.ny; ++j)
+        for (int k = 0; k < sd.nz; ++k) {
+          if (cover(oi + i, oj + j, ok + k)++) {
+            if (error)
+              *error = path + ": shard overlaps an already restored brick";
+            return io::SnapshotStatus::kBadHeader;
+          }
+          std::memcpy(global.block(oi + i, oj + j, ok + k),
+                      shard.block(i, j, k), bytes);
+        }
+  }
+  for (const auto flag : covered)
+    if (!flag) {
+      if (error)
+        *error = "checkpoint shards do not cover the configured grid";
+      return io::SnapshotStatus::kBadHeader;
+    }
+  return io::SnapshotStatus::kOk;
+}
+
+RunResult Driver::run_distributed() {
+  RunResult result;
+  const auto dims = resolve_run_decomp(cfg_, *solver_);
+  Stopwatch wall;
+
+  comm::run(cfg_.ranks, [&](comm::Communicator& comm) {
+    parallel::DistributedHybridSolver ds(*solver_, comm, dims);
+    const bool lead = comm.rank() == 0;
+    double a = a_;
+    std::int64_t steps = steps_;
+    int steps_here = 0;
+    StopReason reason = StopReason::kFinished;
+    bool early = false;
+    std::string checkpoint_written;
+
+    auto checkpoint_all = [&] {
+      write_distributed_checkpoint(cfg_, rng_.state(), ds, comm,
+                                   cfg_.checkpoint_dir, a, steps);
+      checkpoint_written = cfg_.checkpoint_dir;
+    };
+
+    while (a < cfg_.a_final - 1e-12) {
+      // Stop decisions come from rank 0 alone (wall clocks differ across
+      // threads) so every rank leaves the loop on the same step.
+      int stop = 0;
+      if (lead) {
+        if (cfg_.max_steps > 0 && steps >= cfg_.max_steps)
+          stop = 1;
+        else if (cfg_.wall_budget_s > 0.0 &&
+                 wall.seconds() >= cfg_.wall_budget_s)
+          stop = 2;
+      }
+      comm.bcast(&stop, 1, 0);
+      if (stop != 0) {
+        reason = stop == 1 ? StopReason::kMaxSteps : StopReason::kWallBudget;
+        early = true;
+        break;
+      }
+
+      double a1;
+      {
+        Stopwatch control;
+        a1 = std::min(ds.suggest_next_a(a, cfg_.da_max), cfg_.a_final);
+        if (lead) timers_.add("step-control", control.seconds());
+      }
+      {
+        Stopwatch step_watch;
+        ds.step(a, a1);
+        if (lead) timers_.add_sample("step", step_watch.seconds());
+      }
+      a = a1;
+      ++steps;
+      ++steps_here;
+
+      if (lead && cfg_.progress_every > 0 && steps % cfg_.progress_every == 0)
+        std::printf("  [%s] step %lld  a = %.4f  (%d ranks)\n",
+                    cfg_.scenario.c_str(), static_cast<long long>(steps), a,
+                    cfg_.ranks);
+
+      if (cfg_.checkpoint_every > 0 && !cfg_.checkpoint_dir.empty() &&
+          steps % cfg_.checkpoint_every == 0) {
+        Stopwatch ckpt;
+        checkpoint_all();
+        if (lead) timers_.add("checkpoint-io", ckpt.seconds());
+      }
+    }
+
+    if (early && !cfg_.checkpoint_dir.empty()) {
+      Stopwatch ckpt;
+      checkpoint_all();
+      if (lead) timers_.add("checkpoint-io", ckpt.seconds());
+    }
+
+    // Fold the evolved state back into the global solver so accessors,
+    // serial checkpoints, and perf reports see the distributed result.
+    ds.gather_into(*solver_);
+    if (lead) {
+      a_ = a;
+      steps_ = steps;
+      result.reason = reason;
+      result.steps = steps_here;
+      result.checkpoint = checkpoint_written;
+      solver_->timers().merge(ds.timers());
+    }
+  });
+
+  result.a = a_;
+  result.total_steps = steps_;
+  if (!cfg_.perf_report.empty()) write_perf_report(cfg_.perf_report);
+  return result;
+}
+
+}  // namespace v6d::driver

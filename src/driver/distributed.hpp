@@ -1,0 +1,38 @@
+// Distributed pieces of the driver: rank-topology resolution for a
+// configured run and checkpoint-shard assembly for resume.
+//
+// The run loop itself is Driver::run_distributed() (defined in
+// distributed.cpp); it shards the scenario-built global solver across
+// comm::run thread ranks (parallel::DistributedHybridSolver), takes
+// allreduce-agreed CFL steps, and writes per-rank phase-space shards on
+// checkpoint so the big payload is written concurrently — the reason the
+// paper times snapshot I/O as a first-class phase (§7.2).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "driver/checkpoint.hpp"
+#include "driver/config.hpp"
+#include "hybrid/hybrid_solver.hpp"
+
+namespace v6d::driver {
+
+/// Resolve cfg.ranks / cfg.decomp against the (already built) global
+/// solver's grids.  Throws std::invalid_argument when the requested
+/// topology is infeasible (indivisible extents or bricks thinner than the
+/// ghost width).
+std::array<int, 3> resolve_run_decomp(const SimulationConfig& cfg,
+                                      const hybrid::HybridSolver& solver);
+
+/// Read every per-rank shard listed in `meta` and copy its interior into
+/// the global phase space (placement from each shard's geometry origin).
+/// Used by Driver::resume; the ranks/decomp of the resumed run may even
+/// differ from the writing run — the global state is assembled first and
+/// re-sharded on the next run() (bit-identical only when they match).
+io::SnapshotStatus assemble_phase_space_shards(const std::string& dir,
+                                               const Checkpoint& meta,
+                                               vlasov::PhaseSpace& global,
+                                               std::string* error = nullptr);
+
+}  // namespace v6d::driver

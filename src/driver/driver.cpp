@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "driver/checkpoint.hpp"
+#include "driver/distributed.hpp"
 #include "driver/scenario.hpp"
 #include "io/perf_report.hpp"
 
@@ -51,6 +52,15 @@ Driver Driver::resume(const std::string& dir, const Options& overrides) {
 
   Driver driver(meta.config, /*with_ics=*/false);
 
+  // The scenario was rebuilt with an empty phase space; a neutrino run
+  // whose meta carries neither a global payload nor shards would silently
+  // continue from all-zero f, so refuse it here.
+  if (driver.solver_->neutrinos().dims().total_interior() > 0 &&
+      !meta.has_phase_space && meta.shard_files.empty())
+    throw std::runtime_error(
+        "checkpoint has no phase-space payload (global or shards) but the "
+        "configured scenario has neutrinos — corrupt or truncated meta");
+
   // The scenario rebuild fixes the expected shapes; the payload must
   // agree or the config was overridden incompatibly.
   const auto expected_dims = driver.solver_->neutrinos().dims();
@@ -61,6 +71,17 @@ Driver Driver::resume(const std::string& dir, const Options& overrides) {
     throw std::runtime_error("cannot read checkpoint payload (" +
                              std::string(io::to_string(status)) +
                              "): " + detail);
+  if (!meta.shard_files.empty()) {
+    // Distributed checkpoint: assemble the global phase space from the
+    // per-rank shards; the next run() re-shards it (bit-identically when
+    // ranks/decomp are unchanged).
+    status = assemble_phase_space_shards(dir, meta,
+                                         driver.solver_->neutrinos(), &detail);
+    if (status != io::SnapshotStatus::kOk)
+      throw std::runtime_error("cannot read checkpoint shards (" +
+                               std::string(io::to_string(status)) +
+                               "): " + detail);
+  }
   if (meta.has_forces && !driver.solver_->import_step_forces(forces))
     throw std::runtime_error(
         "checkpoint force cache does not match the configured scenario "
@@ -102,6 +123,7 @@ void Driver::write_checkpoint(const std::string& dir) const {
 }
 
 RunResult Driver::run() {
+  if (cfg_.ranks > 1) return run_distributed();
   Stopwatch wall;
   RunResult result;
   const auto stop_with_checkpoint = [&](StopReason reason) {

@@ -77,6 +77,11 @@ class Driver {
  private:
   Driver(const SimulationConfig& cfg, bool with_ics);
 
+  /// The ranks > 1 run loop (driver/distributed.cpp): shards the global
+  /// solver over comm::run thread ranks, steps with allreduce-agreed CFL
+  /// intervals, and writes per-rank checkpoint shards.
+  RunResult run_distributed();
+
   SimulationConfig cfg_;
   std::unique_ptr<hybrid::HybridSolver> solver_;
   Xoshiro256 rng_;

@@ -10,48 +10,25 @@ namespace {
 
 inline double sinc(double x) { return x == 0.0 ? 1.0 : std::sin(x) / x; }
 
-/// Signed mode number for FFT bin i of n (negative above Nyquist).
-inline int signed_mode(int i, int n) { return i <= n / 2 ? i : i - n; }
-
 }  // namespace
 
-PoissonSolver::PoissonSolver(int n, double box)
-    : PoissonSolver(n, n, n, box, box, box) {}
+int fft_signed_mode(int i, int n) { return i <= n / 2 ? i : i - n; }
 
-PoissonSolver::PoissonSolver(int nx, int ny, int nz, double lx, double ly,
-                             double lz)
-    : nx_(nx), ny_(ny), nz_(nz), lx_(lx), ly_(ly), lz_(lz),
-      fft_(nx, ny, nz) {}
-
-void PoissonSolver::spectrum_of(const mesh::Grid3D<double>& rho,
-                                std::vector<fft::cplx>& spec) const {
-  assert(rho.nx() == nx_ && rho.ny() == ny_ && rho.nz() == nz_);
-  // Interior copy (Grid3D may carry ghosts; FFT wants the packed interior).
-  std::vector<double> packed(static_cast<std::size_t>(nx_) * ny_ * nz_);
-  std::size_t o = 0;
-  for (int i = 0; i < nx_; ++i)
-    for (int j = 0; j < ny_; ++j)
-      for (int k = 0; k < nz_; ++k) packed[o++] = rho.at(i, j, k);
-  spec.resize(packed.size());
-  fft_.forward(packed.data(), spec.data());
+double fft_wavenumber(int i, int n, double l) {
+  return 2.0 * M_PI / l * fft_signed_mode(i, n);
 }
 
-void PoissonSolver::wavevector(int ix, int iy, int iz, double& kx,
-                               double& ky, double& kz) const {
-  kx = 2.0 * M_PI / lx_ * signed_mode(ix, nx_);
-  ky = 2.0 * M_PI / ly_ * signed_mode(iy, ny_);
-  kz = 2.0 * M_PI / lz_ * signed_mode(iz, nz_);
-}
-
-double PoissonSolver::green_times_window(
-    int ix, int iy, int iz, const PoissonOptions& options) const {
-  if (signed_mode(ix, nx_) == 0 && signed_mode(iy, ny_) == 0 &&
-      signed_mode(iz, nz_) == 0)
+double green_times_window(int ix, int iy, int iz, int nx, int ny, int nz,
+                          double lx, double ly, double lz,
+                          const PoissonOptions& options) {
+  if (fft_signed_mode(ix, nx) == 0 && fft_signed_mode(iy, ny) == 0 &&
+      fft_signed_mode(iz, nz) == 0)
     return 0.0;
 
-  double kx, ky, kz;
-  wavevector(ix, iy, iz, kx, ky, kz);
-  const double hx = lx_ / nx_, hy = ly_ / ny_, hz = lz_ / nz_;
+  const double kx = fft_wavenumber(ix, nx, lx);
+  const double ky = fft_wavenumber(iy, ny, ly);
+  const double kz = fft_wavenumber(iz, nz, lz);
+  const double hx = lx / nx, hy = ly / ny, hz = lz / nz;
 
   double k2;
   if (options.green == GreenFunction::kExactK2) {
@@ -79,6 +56,40 @@ double PoissonSolver::green_times_window(
     g *= std::exp(-kk * rs2);
   }
   return g;
+}
+
+PoissonSolver::PoissonSolver(int n, double box)
+    : PoissonSolver(n, n, n, box, box, box) {}
+
+PoissonSolver::PoissonSolver(int nx, int ny, int nz, double lx, double ly,
+                             double lz)
+    : nx_(nx), ny_(ny), nz_(nz), lx_(lx), ly_(ly), lz_(lz),
+      fft_(nx, ny, nz) {}
+
+void PoissonSolver::spectrum_of(const mesh::Grid3D<double>& rho,
+                                std::vector<fft::cplx>& spec) const {
+  assert(rho.nx() == nx_ && rho.ny() == ny_ && rho.nz() == nz_);
+  // Interior copy (Grid3D may carry ghosts; FFT wants the packed interior).
+  std::vector<double> packed(static_cast<std::size_t>(nx_) * ny_ * nz_);
+  std::size_t o = 0;
+  for (int i = 0; i < nx_; ++i)
+    for (int j = 0; j < ny_; ++j)
+      for (int k = 0; k < nz_; ++k) packed[o++] = rho.at(i, j, k);
+  spec.resize(packed.size());
+  fft_.forward(packed.data(), spec.data());
+}
+
+void PoissonSolver::wavevector(int ix, int iy, int iz, double& kx,
+                               double& ky, double& kz) const {
+  kx = fft_wavenumber(ix, nx_, lx_);
+  ky = fft_wavenumber(iy, ny_, ly_);
+  kz = fft_wavenumber(iz, nz_, lz_);
+}
+
+double PoissonSolver::green_times_window(
+    int ix, int iy, int iz, const PoissonOptions& options) const {
+  return gravity::green_times_window(ix, iy, iz, nx_, ny_, nz_, lx_, ly_,
+                                     lz_, options);
 }
 
 void PoissonSolver::solve(const mesh::Grid3D<double>& rho,

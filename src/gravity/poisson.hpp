@@ -29,6 +29,20 @@ struct PoissonOptions {
   double prefactor = 1.0;           // e.g. 4 pi G a^2 in code units
 };
 
+/// Signed FFT mode number for bin i of n (negative above Nyquist) and the
+/// corresponding wavevector component for box length l.
+int fft_signed_mode(int i, int n);
+double fft_wavenumber(int i, int n, double l);
+
+/// Green function x assignment-window multiplier for spectrum bin
+/// (ix, iy, iz) of an (nx, ny, nz) mesh over box lengths (lx, ly, lz):
+/// phi_k = green_times_window(...) * rho_k.  Shared verbatim by the serial
+/// PoissonSolver and the distributed PM path (src/parallel/), so both
+/// solve the identical spectral problem.
+double green_times_window(int ix, int iy, int iz, int nx, int ny, int nz,
+                          double lx, double ly, double lz,
+                          const PoissonOptions& options);
+
 class PoissonSolver {
  public:
   /// Cubic convenience: n^3 cells over a periodic box of length `box`.

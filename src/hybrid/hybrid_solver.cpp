@@ -6,6 +6,53 @@
 
 namespace v6d::hybrid {
 
+TreePmDerived TreePmDerived::from(const HybridOptions& options, double box) {
+  TreePmDerived d;
+  const double h = box / options.pm_grid;
+  d.rs = options.treepm.rs_cells * h;
+  d.rcut = options.treepm.rcut_over_rs * d.rs;
+  d.eps = options.treepm.eps_cells * h;
+  d.poly = gravity::CutoffPoly(options.treepm.rcut_over_rs / 2.0,
+                               options.treepm.cutoff_poly_degree);
+  return d;
+}
+
+void add_tree_accelerations(const nbody::Particles& cdm, double box,
+                            const HybridOptions& options,
+                            const TreePmDerived& derived, double prefactor,
+                            std::vector<double>& ax, std::vector<double>& ay,
+                            std::vector<double>& az) {
+  if (!options.enable_tree || cdm.size() == 0) return;
+  const double g_pair = prefactor / (4.0 * M_PI);
+  gravity::BarnesHutTree tree(cdm, box, options.treepm.leaf_size);
+  gravity::PpKernelParams params;
+  params.eps = derived.eps;
+  params.rs = derived.rs;
+  params.rcut = derived.rcut;
+  std::vector<double> tx(cdm.size(), 0.0), ty(cdm.size(), 0.0),
+      tz(cdm.size(), 0.0);
+  tree.accelerations(cdm, params, derived.poly, options.treepm.theta,
+                     options.treepm.use_simd, tx, ty, tz);
+  for (std::size_t i = 0; i < cdm.size(); ++i) {
+    ax[i] += g_pair * tx[i];
+    ay[i] += g_pair * ty[i];
+    az[i] += g_pair * tz[i];
+  }
+}
+
+double cfl_limited_step(double a0, double da_max, double cfl,
+                        const std::function<double(double)>& max_shift) {
+  double a1 = a0 + da_max;
+  for (int it = 0; it < 20; ++it) {
+    const double shift = max_shift(a1);
+    if (shift <= cfl) break;
+    // Shift is nearly linear in (a1 - a0): rescale and re-check.
+    const double scale = cfl / shift;
+    a1 = a0 + (a1 - a0) * std::min(0.95, scale);
+  }
+  return a1;
+}
+
 HybridSolver::HybridSolver(vlasov::PhaseSpace f, nbody::Particles cdm,
                            double box, const cosmo::Background& background,
                            const HybridOptions& options)
@@ -28,12 +75,7 @@ HybridSolver::HybridSolver(vlasov::PhaseSpace f, nbody::Particles cdm,
       nu_az_(f_.dims().nx, f_.dims().ny, f_.dims().nz) {
   patch_.box = box;
   patch_.n_global = options.pm_grid;
-  const double h = box / options.pm_grid;
-  rs_ = options.treepm.rs_cells * h;
-  rcut_ = options.treepm.rcut_over_rs * rs_;
-  eps_ = options.treepm.eps_cells * h;
-  poly_ = gravity::CutoffPoly(options.treepm.rcut_over_rs / 2.0,
-                              options.treepm.cutoff_poly_degree);
+  treepm_derived_ = TreePmDerived::from(options, box);
   has_nu_ = f_.dims().total_interior() > 0;
 }
 
@@ -92,7 +134,8 @@ void HybridSolver::compute_forces(double a) {
 
     // (a) filtered CDM field for the particle long-range force.
     gravity::PoissonOptions cdm_long = cdm_opts;
-    cdm_long.longrange_split_rs = options_.enable_tree ? rs_ : 0.0;
+    cdm_long.longrange_split_rs =
+        options_.enable_tree ? treepm_derived_.rs : 0.0;
     poisson_.solve_forces(rho_cdm_, gx_cdm_, gy_cdm_, gz_cdm_, cdm_long);
 
     // (b) full CDM field for the Vlasov kicks.
@@ -156,21 +199,8 @@ void HybridSolver::compute_forces(double a) {
   // --- tree short-range (CDM only) ---
   if (options_.enable_tree && cdm_.size() > 0) {
     ScopedTimer t(timers_, "tree");
-    const double g_pair = prefactor / (4.0 * M_PI);
-    gravity::BarnesHutTree tree(cdm_, box_, options_.treepm.leaf_size);
-    gravity::PpKernelParams params;
-    params.eps = eps_;
-    params.rs = rs_;
-    params.rcut = rcut_;
-    std::vector<double> tx(cdm_.size(), 0.0), ty(cdm_.size(), 0.0),
-        tz(cdm_.size(), 0.0);
-    tree.accelerations(cdm_, params, poly_, options_.treepm.theta,
-                       options_.treepm.use_simd, tx, ty, tz);
-    for (std::size_t i = 0; i < cdm_.size(); ++i) {
-      ax_[i] += g_pair * tx[i];
-      ay_[i] += g_pair * ty[i];
-      az_[i] += g_pair * tz[i];
-    }
+    add_tree_accelerations(cdm_, box_, options_, treepm_derived_, prefactor,
+                           ax_, ay_, az_);
   }
   forces_fresh_ = true;
 }
@@ -208,16 +238,9 @@ void HybridSolver::step(double a0, double a1) {
 
 double HybridSolver::suggest_next_a(double a0, double da_max) const {
   if (!has_nu_) return a0 + da_max;
-  double a1 = a0 + da_max;
-  for (int it = 0; it < 20; ++it) {
-    const double shift =
-        vlasov::max_position_shift(f_, background_.drift_factor(a0, a1));
-    if (shift <= options_.cfl) break;
-    // Shift is nearly linear in (a1 - a0): rescale and re-check.
-    const double scale = options_.cfl / shift;
-    a1 = a0 + (a1 - a0) * std::min(0.95, scale);
-  }
-  return a1;
+  return cfl_limited_step(a0, da_max, options_.cfl, [&](double a1) {
+    return vlasov::max_position_shift(f_, background_.drift_factor(a0, a1));
+  });
 }
 
 HybridSolver::StepForces HybridSolver::export_step_forces() const {

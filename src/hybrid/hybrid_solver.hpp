@@ -41,6 +41,35 @@ struct HybridOptions {
   bool enable_tree = true;                // PM-only when false
 };
 
+/// TreePM force-split lengths derived from the options and the mesh
+/// spacing.  Shared by the serial and distributed solvers so the split
+/// numerics cannot drift apart.
+struct TreePmDerived {
+  double rs = 0.0;    // long/short split scale
+  double rcut = 0.0;  // short-range cutoff radius
+  double eps = 0.0;   // force softening
+  gravity::CutoffPoly poly;
+
+  static TreePmDerived from(const HybridOptions& options, double box);
+};
+
+/// Accumulate (+=) the Barnes-Hut short-range accelerations of the full
+/// particle set, scaled by the Poisson prefactor.  No-op when the tree is
+/// disabled or there are no particles.  Serial and distributed solvers
+/// call this same block.
+void add_tree_accelerations(const nbody::Particles& cdm, double box,
+                            const HybridOptions& options,
+                            const TreePmDerived& derived, double prefactor,
+                            std::vector<double>& ax, std::vector<double>& ay,
+                            std::vector<double>& az);
+
+/// CFL-limited step search: the largest a1 <= a0 + da_max with
+/// max_shift(a1) <= cfl, via the shared backoff iteration.  `max_shift`
+/// supplies the position-sweep bound (local, or allreduce-d by the
+/// distributed solver).
+double cfl_limited_step(double a0, double da_max, double cfl,
+                        const std::function<double(double)>& max_shift);
+
 class HybridSolver {
  public:
   /// Takes ownership of the phase space (may have zero-size dims if the
@@ -53,6 +82,13 @@ class HybridSolver {
   const vlasov::PhaseSpace& neutrinos() const { return f_; }
   nbody::Particles& cdm() { return cdm_; }
   const nbody::Particles& cdm() const { return cdm_; }
+
+  /// Construction parameters, exposed so the distributed solver
+  /// (src/parallel/) can shard an already built solver without re-plumbing
+  /// the scenario layer.
+  const HybridOptions& options() const { return options_; }
+  const cosmo::Background& background() const { return background_; }
+  double box() const { return box_; }
 
   /// One KDK step from scale factor a0 to a1 (caller controls step size;
   /// see suggest_next_a for the CFL-limited choice).
@@ -101,8 +137,7 @@ class HybridSolver {
 
   gravity::PoissonSolver poisson_;
   mesh::MeshPatch patch_;
-  double rs_, rcut_, eps_;
-  gravity::CutoffPoly poly_;
+  TreePmDerived treepm_derived_;
 
   mesh::Grid3D<double> rho_cdm_, rho_nu_;
   mesh::Grid3D<double> gx_cdm_, gy_cdm_, gz_cdm_;  // filtered (for particles)

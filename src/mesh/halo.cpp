@@ -1,6 +1,8 @@
 #include "mesh/halo.hpp"
 
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace v6d::mesh {
@@ -16,6 +18,23 @@ struct Range {
   int lo, hi;  // half-open interval of cell indices
   int count() const { return hi - lo; }
 };
+
+inline int wrap(int i, int n) { return ((i % n) + n) % n; }
+
+// A decomposed axis sends `ghost` *interior* layers to each neighbor; if
+// the local extent is smaller than the ghost width the pack would silently
+// read out-of-range (ghost) cells and corrupt the neighbor's halo.  Fail
+// loudly instead — the decomposition has too many ranks along this axis.
+void require_ghost_fits(const char* fn, int axis, int n_axis, int ghost,
+                        int ranks_along_axis) {
+  if (n_axis >= ghost) return;
+  throw std::invalid_argument(
+      std::string(fn) + ": local extent " + std::to_string(n_axis) +
+      " along axis " + std::to_string(axis) + " is smaller than the ghost " +
+      "width " + std::to_string(ghost) + " (axis split over " +
+      std::to_string(ranks_along_axis) +
+      " ranks); use fewer ranks along this axis");
+}
 
 // Generic axis exchange over an indexable 3-D container of `Cell` payloads.
 // get/set copy whole payload units (a scalar for mesh grids, a velocity
@@ -92,6 +111,23 @@ void exchange_phase_space_halo(vlasov::PhaseSpace& f,
       (ta < 0 ? ta : tb) = t;
     }
 
+    if (cart.dims()[static_cast<std::size_t>(axis)] == 1) {
+      // Undecomposed axis: the whole axis lives on this rank, so the halo
+      // is the local periodic wrap.  The modulo handles extents smaller
+      // than the ghost width (quasi-1D grids), which a self-send of
+      // interior slabs cannot.
+      for (int a = -g; a < n[axis] + g; ++a) {
+        if (a >= 0 && a < n[axis]) continue;
+        const int src = wrap(a, n[axis]);
+        for (int b = r[ta].lo; b < r[ta].hi; ++b)
+          for (int c = r[tb].lo; c < r[tb].hi; ++c)
+            std::memcpy(cell(a, b, c), cell(src, b, c), bs * sizeof(float));
+      }
+      continue;
+    }
+    require_ghost_fits("exchange_phase_space_halo", axis, n[axis], g,
+                       cart.dims()[static_cast<std::size_t>(axis)]);
+
     auto pack = [&](int lo, int count, Range t1, Range t2,
                     std::vector<float>& buf) {
       buf.resize(static_cast<std::size_t>(count) * t1.count() * t2.count() *
@@ -152,6 +188,17 @@ void exchange_grid_halo_impl(Grid3D<T>& grid, comm::CartTopology& cart) {
       }
       return grid.at(idx[0], idx[1], idx[2]);
     };
+    if (cart.dims()[static_cast<std::size_t>(axis)] == 1) {
+      for (int a = -g; a < n[axis] + g; ++a) {
+        if (a >= 0 && a < n[axis]) continue;
+        const int src = wrap(a, n[axis]);
+        for (int b = r[ta].lo; b < r[ta].hi; ++b)
+          for (int c = r[tb].lo; c < r[tb].hi; ++c) at(a, b, c) = at(src, b, c);
+      }
+      continue;
+    }
+    require_ghost_fits("exchange_grid_halo", axis, n[axis], g,
+                       cart.dims()[static_cast<std::size_t>(axis)]);
     const auto nbr = cart.neighbors(axis);
     auto pack = [&](int lo, int count) {
       std::vector<T> buf;
@@ -224,6 +271,22 @@ void fold_grid_halo(Grid3D<double>& grid, comm::CartTopology& cart) {
       }
       return grid.at(idx[0], idx[1], idx[2]);
     };
+    if (cart.dims()[static_cast<std::size_t>(axis)] == 1) {
+      // Undecomposed axis: fold ghosts onto their periodic interior image
+      // locally (modulo wrap handles extents below the ghost width).
+      for (int a = -g; a < n[axis] + g; ++a) {
+        if (a >= 0 && a < n[axis]) continue;
+        const int dst = wrap(a, n[axis]);
+        for (int b = r[ta].lo; b < r[ta].hi; ++b)
+          for (int c = r[tb].lo; c < r[tb].hi; ++c) {
+            at(dst, b, c) += at(a, b, c);
+            at(a, b, c) = 0.0;
+          }
+      }
+      continue;
+    }
+    require_ghost_fits("fold_grid_halo", axis, n[axis], g,
+                       cart.dims()[static_cast<std::size_t>(axis)]);
     const auto nbr = cart.neighbors(axis);
     auto pack = [&](int lo, int count) {
       std::vector<double> buf;

@@ -1,0 +1,144 @@
+#include "parallel/decomp_plan.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace v6d::parallel {
+
+namespace {
+
+std::string dims_str(const std::array<int, 3>& d) {
+  return std::to_string(d[0]) + "x" + std::to_string(d[1]) + "x" +
+         std::to_string(d[2]);
+}
+
+/// Whether axis `a` of the constraints tolerates being split `parts` ways.
+bool axis_feasible(int a, int parts, const DecompConstraints& c) {
+  if (parts == 1) return true;
+  const int nv = c.vlasov[static_cast<std::size_t>(a)];
+  if (nv > 0) {
+    if (nv % parts != 0) return false;
+    if (nv / parts < c.vlasov_ghost) return false;
+  }
+  if (c.pm_grid > 0) {
+    if (c.pm_grid % parts != 0) return false;
+    if (c.pm_grid / parts < c.pm_ghost) return false;
+  }
+  return true;
+}
+
+/// Halo surface of the local brick (the per-step communication volume is
+/// proportional to it) — smaller is better, zero when nothing is split.
+double halo_surface(const std::array<int, 3>& dims,
+                    const DecompConstraints& c) {
+  double lx = 1.0, ly = 1.0, lz = 1.0;
+  if (c.vlasov[0] > 0) {
+    lx = static_cast<double>(c.vlasov[0]) / dims[0];
+    ly = static_cast<double>(c.vlasov[1]) / dims[1];
+    lz = static_cast<double>(c.vlasov[2]) / dims[2];
+  } else if (c.pm_grid > 0) {
+    lx = static_cast<double>(c.pm_grid) / dims[0];
+    ly = static_cast<double>(c.pm_grid) / dims[1];
+    lz = static_cast<double>(c.pm_grid) / dims[2];
+  }
+  double s = 0.0;
+  if (dims[0] > 1) s += ly * lz;
+  if (dims[1] > 1) s += lx * lz;
+  if (dims[2] > 1) s += lx * ly;
+  return s;
+}
+
+}  // namespace
+
+std::array<int, 3> parse_decomp(const std::string& spec) {
+  if (spec.empty() || spec == "auto") return {0, 0, 0};
+  std::array<int, 3> dims{0, 0, 0};
+  std::size_t pos = 0;
+  for (int a = 0; a < 3; ++a) {
+    std::size_t used = 0;
+    int value = 0;
+    try {
+      value = std::stoi(spec.substr(pos), &used);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("decomp: cannot parse '" + spec +
+                                  "' (expected DXxDYxDZ, e.g. 2x2x1)");
+    }
+    if (value <= 0)
+      throw std::invalid_argument("decomp: non-positive factor in '" + spec +
+                                  "'");
+    dims[static_cast<std::size_t>(a)] = value;
+    pos += used;
+    if (a < 2) {
+      if (pos >= spec.size() || spec[pos] != 'x')
+        throw std::invalid_argument("decomp: cannot parse '" + spec +
+                                    "' (expected DXxDYxDZ, e.g. 2x2x1)");
+      ++pos;
+    }
+  }
+  if (pos != spec.size())
+    throw std::invalid_argument("decomp: trailing characters in '" + spec +
+                                "'");
+  return dims;
+}
+
+void validate_decomp(const std::array<int, 3>& dims, int ranks,
+                     const DecompConstraints& c) {
+  if (dims[0] * dims[1] * dims[2] != ranks)
+    throw std::invalid_argument("decomp " + dims_str(dims) +
+                                " does not multiply to ranks=" +
+                                std::to_string(ranks));
+  for (int a = 0; a < 3; ++a) {
+    if (axis_feasible(a, dims[static_cast<std::size_t>(a)], c)) continue;
+    const int nv = c.vlasov[static_cast<std::size_t>(a)];
+    throw std::invalid_argument(
+        "decomp " + dims_str(dims) + ": axis " + std::to_string(a) +
+        " cannot be split " +
+        std::to_string(dims[static_cast<std::size_t>(a)]) +
+        " ways (Vlasov extent " + std::to_string(nv) + ", PM grid " +
+        std::to_string(c.pm_grid) +
+        "; decomposed axes must divide evenly and keep local extents >= " +
+        "the ghost widths " + std::to_string(c.vlasov_ghost) + "/" +
+        std::to_string(c.pm_ghost) + ")");
+  }
+}
+
+std::array<int, 3> choose_decomp(int ranks, const DecompConstraints& c) {
+  std::array<int, 3> best{0, 0, 0};
+  double best_surface = std::numeric_limits<double>::max();
+  for (int dx = 1; dx <= ranks; ++dx) {
+    if (ranks % dx != 0) continue;
+    const int rest = ranks / dx;
+    for (int dy = 1; dy <= rest; ++dy) {
+      if (rest % dy != 0) continue;
+      const int dz = rest / dy;
+      const std::array<int, 3> dims{dx, dy, dz};
+      bool ok = true;
+      for (int a = 0; a < 3 && ok; ++a)
+        ok = axis_feasible(a, dims[static_cast<std::size_t>(a)], c);
+      if (!ok) continue;
+      const double surface = halo_surface(dims, c);
+      if (surface < best_surface) {
+        best_surface = surface;
+        best = dims;
+      }
+    }
+  }
+  if (best[0] == 0)
+    throw std::invalid_argument(
+        "no feasible decomposition of " + std::to_string(ranks) +
+        " ranks for Vlasov grid " + dims_str(c.vlasov) + " and PM grid " +
+        std::to_string(c.pm_grid) +
+        " (decomposed axes must divide evenly and keep local extents >= "
+        "the ghost widths); use fewer ranks or a larger grid");
+  return best;
+}
+
+std::array<int, 3> resolve_decomp(const std::string& spec, int ranks,
+                                  const DecompConstraints& c) {
+  const auto parsed = parse_decomp(spec);
+  if (parsed[0] == 0) return choose_decomp(ranks, c);
+  validate_decomp(parsed, ranks, c);
+  return parsed;
+}
+
+}  // namespace v6d::parallel

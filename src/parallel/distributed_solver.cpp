@@ -1,0 +1,418 @@
+#include "parallel/distributed_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "gravity/poisson.hpp"
+#include "mesh/halo.hpp"
+#include "mesh/interp.hpp"
+#include "parallel/decomp_plan.hpp"
+#include "parallel/field_exchange.hpp"
+#include "vlasov/splitting.hpp"
+
+namespace v6d::parallel {
+
+namespace {
+
+/// Local phase-space brick of the global f: same geometry with the origin
+/// shifted to this rank's offset, interior blocks copied.
+vlasov::PhaseSpace make_local_brick(const vlasov::PhaseSpace& global,
+                                    const mesh::BrickDecomposition& dec) {
+  vlasov::PhaseSpaceDims dims = global.dims();
+  dims.nx = dec.local_n(0);
+  dims.ny = dec.local_n(1);
+  dims.nz = dec.local_n(2);
+  vlasov::PhaseSpaceGeometry geom = global.geom();
+  geom.x0 += dec.offset(0) * geom.dx;
+  geom.y0 += dec.offset(1) * geom.dy;
+  geom.z0 += dec.offset(2) * geom.dz;
+  vlasov::PhaseSpace local(dims, geom);
+  const std::size_t bytes = global.block_size() * sizeof(float);
+  for (int i = 0; i < dims.nx; ++i)
+    for (int j = 0; j < dims.ny; ++j)
+      for (int k = 0; k < dims.nz; ++k)
+        std::memcpy(local.block(i, j, k),
+                    global.block(dec.offset(0) + i, dec.offset(1) + j,
+                                 dec.offset(2) + k),
+                    bytes);
+  return local;
+}
+
+}  // namespace
+
+DistributedHybridSolver::DistributedHybridSolver(
+    const hybrid::HybridSolver& global, comm::Communicator& comm,
+    std::array<int, 3> decomp)
+    : comm_(comm),
+      cart_(comm, decomp),
+      pfft_(comm, global.options().pm_grid),
+      cdm_(global.cdm()),
+      box_(global.box()),
+      background_(global.background()),
+      options_(global.options()) {
+  const auto& gd = global.neutrinos().dims();
+  has_nu_ = gd.total_interior() > 0;
+
+  DecompConstraints constraints;
+  if (has_nu_) constraints.vlasov = {gd.nx, gd.ny, gd.nz};
+  constraints.pm_grid = options_.pm_grid;
+  constraints.vlasov_ghost = gd.ghost;
+  validate_decomp(decomp, comm.size(), constraints);
+
+  dec_ = mesh::BrickDecomposition({gd.nx, gd.ny, gd.nz}, decomp,
+                                  cart_.coords());
+  pm_dec_ = mesh::BrickDecomposition(
+      {options_.pm_grid, options_.pm_grid, options_.pm_grid}, decomp,
+      cart_.coords());
+
+  if (has_nu_) f_ = make_local_brick(global.neutrinos(), dec_);
+
+  patch_.box = box_;
+  patch_.n_global = options_.pm_grid;
+  for (int a = 0; a < 3; ++a) patch_.offset[a] = pm_dec_.offset(a);
+
+  treepm_derived_ = hybrid::TreePmDerived::from(options_, box_);
+
+  const int lx = pm_dec_.local_n(0), ly = pm_dec_.local_n(1),
+            lz = pm_dec_.local_n(2);
+  rho_cdm_ = mesh::Grid3D<double>(lx, ly, lz, 2);
+  rho_nu_ = mesh::Grid3D<double>(lx, ly, lz, 2);
+  gx_cdm_ = mesh::Grid3D<double>(lx, ly, lz, 2);
+  gy_cdm_ = mesh::Grid3D<double>(lx, ly, lz, 2);
+  gz_cdm_ = mesh::Grid3D<double>(lx, ly, lz, 2);
+  gx_nu_ = mesh::Grid3D<double>(lx, ly, lz, 2);
+  gy_nu_ = mesh::Grid3D<double>(lx, ly, lz, 2);
+  gz_nu_ = mesh::Grid3D<double>(lx, ly, lz, 2);
+  nu_ax_ = mesh::Grid3D<double>(dec_.local_n(0), dec_.local_n(1),
+                                dec_.local_n(2));
+  nu_ay_ = nu_ax_;
+  nu_az_ = nu_ax_;
+
+  // Carry a fresh step-boundary force cache across the serial/distributed
+  // seam (resume path): recomputing it would only match to rounding.
+  const auto sf = global.export_step_forces();
+  if (sf.fresh) import_step_forces_global(sf);
+}
+
+vlasov::HaloFiller DistributedHybridSolver::halo_filler() {
+  return [this](vlasov::PhaseSpace& f) {
+    ScopedTimer t(timers_, "halo");
+    mesh::exchange_phase_space_halo(f, cart_);
+  };
+}
+
+bool DistributedHybridSolver::owns_particle(std::size_t i) const {
+  // Ownership by the containing PM cell: a disjoint, exhaustive split of
+  // the replicated particle set.  Both the deposit and the force gather
+  // must use exactly this rule or allreduce-summed contributions would be
+  // dropped or doubled.
+  const int n = options_.pm_grid;
+  const double inv_h = n / box_;
+  const double pos[3] = {cdm_.x[i], cdm_.y[i], cdm_.z[i]};
+  for (int axis = 0; axis < 3; ++axis) {
+    double c = pos[axis] * inv_h;
+    c -= n * std::floor(c / n);
+    const int cell = std::min(n - 1, static_cast<int>(std::floor(c)));
+    if (cell < pm_dec_.offset(axis) ||
+        cell >= pm_dec_.offset(axis) + pm_dec_.local_n(axis))
+      return false;
+  }
+  return true;
+}
+
+void DistributedHybridSolver::deposit_cdm_density() {
+  rho_cdm_.fill(0.0);
+  if (cdm_.size() == 0) {
+    mesh::fold_grid_halo(rho_cdm_, cart_);
+    return;
+  }
+  // Particles are replicated; each rank deposits only the ones it owns
+  // (owned_ is refreshed once per force assembly), spilling CIC weight
+  // into ghosts that fold_grid_halo hands to the owning neighbor.
+  std::vector<double> px, py, pz;
+  px.reserve(owned_.size());
+  py.reserve(owned_.size());
+  pz.reserve(owned_.size());
+  for (const std::size_t i : owned_) {
+    px.push_back(cdm_.x[i]);
+    py.push_back(cdm_.y[i]);
+    pz.push_back(cdm_.z[i]);
+  }
+  mesh::deposit(rho_cdm_, patch_, px, py, pz, cdm_.mass,
+                mesh::Assignment::kCic);
+  mesh::fold_grid_halo(rho_cdm_, cart_);
+}
+
+void DistributedHybridSolver::deposit_nu_density() {
+  // 0th moment of the local brick, injected onto the local PM brick cell
+  // by cell (mirrors HybridSolver::deposit_nu_density; cell centers are
+  // global coordinates because the brick geometry origin is shifted).
+  const auto& d = f_.dims();
+  const auto& g = f_.geom();
+  mesh::Grid3D<double> rho_v(d.nx, d.ny, d.nz);
+  vlasov::compute_density(f_, rho_v);
+
+  rho_nu_.fill(0.0);
+  const double cell_mass_factor = g.dvol();
+  std::vector<double> px(1), py(1), pz(1);
+  for (int ix = 0; ix < d.nx; ++ix)
+    for (int iy = 0; iy < d.ny; ++iy)
+      for (int iz = 0; iz < d.nz; ++iz) {
+        px[0] = g.x(ix);
+        py[0] = g.y(iy);
+        pz[0] = g.z(iz);
+        const double mass = rho_v.at(ix, iy, iz) * cell_mass_factor;
+        mesh::deposit(rho_nu_, patch_, px, py, pz, mass,
+                      mesh::Assignment::kCic);
+      }
+  mesh::fold_grid_halo(rho_nu_, cart_);
+}
+
+void DistributedHybridSolver::compute_forces(double a) {
+  const double prefactor = hybrid::HybridSolver::poisson_prefactor(a);
+  const int n = options_.pm_grid;
+
+  // Ownership split of the replicated particle set, computed once per
+  // force assembly (positions are fixed between the deposit and the
+  // gather below).
+  owned_.clear();
+  for (std::size_t i = 0; i < cdm_.size(); ++i)
+    if (owns_particle(i)) owned_.push_back(i);
+
+  // --- densities (deposit + ghost fold) ---
+  {
+    ScopedTimer t(timers_, "pm");
+    deposit_cdm_density();
+  }
+  if (has_nu_) {
+    ScopedTimer t(timers_, "vlasov-moments");
+    deposit_nu_density();
+  }
+
+  {
+    ScopedTimer t(timers_, "pm");
+    // Bricks -> x-slabs, then the distributed forward transforms.
+    auto slab_cdm = brick_to_slab(rho_cdm_, pm_dec_, pfft_, cart_);
+    pfft_.forward(slab_cdm);
+    std::vector<fft::cplx> slab_nu;
+    if (has_nu_) {
+      slab_nu = brick_to_slab(rho_nu_, pm_dec_, pfft_, cart_);
+      pfft_.forward(slab_nu);
+    }
+
+    gravity::PoissonOptions cdm_opts;
+    cdm_opts.prefactor = prefactor;
+    cdm_opts.deconvolve_order = 2;  // CIC
+    cdm_opts.green = gravity::GreenFunction::kExactK2;
+    gravity::PoissonOptions cdm_long = cdm_opts;
+    cdm_long.longrange_split_rs =
+        options_.enable_tree ? treepm_derived_.rs : 0.0;
+    gravity::PoissonOptions nu_opts;
+    nu_opts.prefactor = prefactor;
+    nu_opts.deconvolve_order = 0;
+
+    // One force set = the combined potential of both species under the
+    // given CDM green function, differentiated spectrally (-i k_d) and
+    // brought back to brick layout per component.  phi_k is evaluated once
+    // per mode (as in the serial PoissonSolver::solve_forces); only the
+    // cheap -i k_d multiply runs per direction.
+    auto solve_set = [&](const gravity::PoissonOptions& c_opts,
+                         mesh::Grid3D<double>& gx, mesh::Grid3D<double>& gy,
+                         mesh::Grid3D<double>& gz) {
+      std::vector<fft::cplx> phi(slab_cdm.size());
+      std::size_t m = 0;
+      pfft_.for_each_mode(
+          slab_cdm, [&](int bx, int by, int bz, fft::cplx& value) {
+            fft::cplx phi_k =
+                value * gravity::green_times_window(bx, by, bz, n, n, n,
+                                                    box_, box_, box_, c_opts);
+            if (has_nu_)
+              phi_k += slab_nu[m] *
+                       gravity::green_times_window(bx, by, bz, n, n, n, box_,
+                                                   box_, box_, nu_opts);
+            phi[m] = phi_k;
+            ++m;
+          });
+      for (int d = 0; d < 3; ++d) {
+        std::vector<fft::cplx> spec(phi.size());
+        m = 0;
+        pfft_.for_each_mode(
+            slab_cdm, [&](int bx, int by, int bz, fft::cplx&) {
+              const int bin = d == 0 ? bx : d == 1 ? by : bz;
+              const double k_d = gravity::fft_wavenumber(bin, n, box_);
+              spec[m] = fft::cplx(0.0, -1.0) * k_d * phi[m];
+              ++m;
+            });
+        pfft_.inverse_normalized(spec);
+        auto& out = d == 0 ? gx : d == 1 ? gy : gz;
+        slab_to_brick(spec, pfft_, pm_dec_, cart_, out);
+      }
+      mesh::exchange_grid_halo(gx, cart_);
+      mesh::exchange_grid_halo(gy, cart_);
+      mesh::exchange_grid_halo(gz, cart_);
+    };
+    solve_set(cdm_long, gx_cdm_, gy_cdm_, gz_cdm_);
+    solve_set(cdm_opts, gx_nu_, gy_nu_, gz_nu_);
+
+    // Particle long-range gather: each rank interpolates at the particles
+    // its brick owns (the same split as the deposit), the disjoint
+    // contributions are summed into the replicated acceleration arrays.
+    ax_.assign(cdm_.size(), 0.0);
+    ay_.assign(cdm_.size(), 0.0);
+    az_.assign(cdm_.size(), 0.0);
+    if (cdm_.size() > 0) {
+      for (const std::size_t i : owned_) {
+        ax_[i] = mesh::interpolate(gx_cdm_, patch_, cdm_.x[i], cdm_.y[i],
+                                   cdm_.z[i], mesh::Assignment::kCic);
+        ay_[i] = mesh::interpolate(gy_cdm_, patch_, cdm_.x[i], cdm_.y[i],
+                                   cdm_.z[i], mesh::Assignment::kCic);
+        az_[i] = mesh::interpolate(gz_cdm_, patch_, cdm_.x[i], cdm_.y[i],
+                                   cdm_.z[i], mesh::Assignment::kCic);
+      }
+      comm_.allreduce_sum(ax_.data(), ax_.size());
+      comm_.allreduce_sum(ay_.data(), ay_.size());
+      comm_.allreduce_sum(az_.data(), az_.size());
+    }
+
+    // Vlasov-grid acceleration sampling on the local brick.
+    if (has_nu_) {
+      const auto& d = f_.dims();
+      const auto& g = f_.geom();
+      for (int ix = 0; ix < d.nx; ++ix)
+        for (int iy = 0; iy < d.ny; ++iy)
+          for (int iz = 0; iz < d.nz; ++iz) {
+            const double x = g.x(ix), y = g.y(iy), z = g.z(iz);
+            nu_ax_.at(ix, iy, iz) = mesh::interpolate(
+                gx_nu_, patch_, x, y, z, mesh::Assignment::kCic);
+            nu_ay_.at(ix, iy, iz) = mesh::interpolate(
+                gy_nu_, patch_, x, y, z, mesh::Assignment::kCic);
+            nu_az_.at(ix, iy, iz) = mesh::interpolate(
+                gz_nu_, patch_, x, y, z, mesh::Assignment::kCic);
+          }
+    }
+  }
+
+  // --- tree short-range: replicated over the replicated particle set,
+  //     identical on every rank (the serial solver's exact block) ---
+  if (options_.enable_tree && cdm_.size() > 0) {
+    ScopedTimer t(timers_, "tree");
+    hybrid::add_tree_accelerations(cdm_, box_, options_, treepm_derived_,
+                                   prefactor, ax_, ay_, az_);
+  }
+  forces_fresh_ = true;
+}
+
+void DistributedHybridSolver::step(double a0, double a1) {
+  const double a_mid = 0.5 * (a0 + a1);
+  if (!forces_fresh_) compute_forces(a0);
+
+  const double kick_pre = background_.kick_factor(a0, a_mid);
+  if (has_nu_) {
+    ScopedTimer t(timers_, "vlasov");
+    vlasov::kick_half(f_, nu_ax_, nu_ay_, nu_az_, kick_pre, options_.kernel);
+  }
+  nbody::kick(cdm_, ax_, ay_, az_, kick_pre);
+
+  const double drift_f = background_.drift_factor(a0, a1);
+  if (has_nu_) {
+    ScopedTimer t(timers_, "vlasov");
+    vlasov::drift_full(f_, drift_f, options_.kernel, halo_filler());
+  }
+  nbody::drift(cdm_, drift_f, box_);
+
+  compute_forces(a1);
+
+  const double kick_post = background_.kick_factor(a_mid, a1);
+  if (has_nu_) {
+    ScopedTimer t(timers_, "vlasov");
+    vlasov::kick_half(f_, nu_ax_, nu_ay_, nu_az_, kick_post, options_.kernel);
+  }
+  nbody::kick(cdm_, ax_, ay_, az_, kick_post);
+}
+
+double DistributedHybridSolver::suggest_next_a(double a0, double da_max) {
+  if (!has_nu_) return a0 + da_max;
+  // Same backoff iteration as the serial solver; the local shift bound is
+  // geometry-only today, but the allreduce keeps every rank's decision
+  // identical by construction even if it becomes state-dependent.
+  return hybrid::cfl_limited_step(a0, da_max, options_.cfl, [&](double a1) {
+    return comm_.allreduce_max(
+        vlasov::max_position_shift(f_, background_.drift_factor(a0, a1)));
+  });
+}
+
+double DistributedHybridSolver::total_mass() {
+  const double local = has_nu_ ? f_.total_mass() : 0.0;
+  double mass = comm_.allreduce_sum(local);
+  mass += cdm_.mass * static_cast<double>(cdm_.size());
+  return mass;
+}
+
+hybrid::HybridSolver::StepForces
+DistributedHybridSolver::export_step_forces_global() {
+  hybrid::HybridSolver::StepForces out;
+  out.fresh = forces_fresh_;
+  if (!forces_fresh_) return out;
+  const auto global = dec_.global();
+  out.nu_ax = mesh::Grid3D<double>(global[0], global[1], global[2]);
+  out.nu_ay = out.nu_ax;
+  out.nu_az = out.nu_ax;
+  if (has_nu_) {
+    allgather_bricks(nu_ax_, dec_, comm_, out.nu_ax);
+    allgather_bricks(nu_ay_, dec_, comm_, out.nu_ay);
+    allgather_bricks(nu_az_, dec_, comm_, out.nu_az);
+  }
+  out.ax = ax_;
+  out.ay = ay_;
+  out.az = az_;
+  return out;
+}
+
+void DistributedHybridSolver::import_step_forces_global(
+    const hybrid::HybridSolver::StepForces& sf) {
+  if (!sf.fresh) {
+    forces_fresh_ = false;
+    return;
+  }
+  const auto global = dec_.global();
+  if (sf.nu_ax.nx() != global[0] || sf.nu_ax.ny() != global[1] ||
+      sf.nu_ax.nz() != global[2] || sf.ax.size() != cdm_.size())
+    throw std::runtime_error(
+        "distributed force cache does not match the configured shape");
+  for (int i = 0; i < dec_.local_n(0); ++i)
+    for (int j = 0; j < dec_.local_n(1); ++j)
+      for (int k = 0; k < dec_.local_n(2); ++k) {
+        const int gi = dec_.offset(0) + i, gj = dec_.offset(1) + j,
+                  gk = dec_.offset(2) + k;
+        nu_ax_.at(i, j, k) = sf.nu_ax.at(gi, gj, gk);
+        nu_ay_.at(i, j, k) = sf.nu_ay.at(gi, gj, gk);
+        nu_az_.at(i, j, k) = sf.nu_az.at(gi, gj, gk);
+      }
+  ax_ = sf.ax;
+  ay_ = sf.ay;
+  az_ = sf.az;
+  forces_fresh_ = true;
+}
+
+void DistributedHybridSolver::gather_into(hybrid::HybridSolver& global) {
+  if (has_nu_) {
+    vlasov::PhaseSpace& gf = global.neutrinos();
+    const std::size_t bytes = gf.block_size() * sizeof(float);
+    for (int i = 0; i < dec_.local_n(0); ++i)
+      for (int j = 0; j < dec_.local_n(1); ++j)
+        for (int k = 0; k < dec_.local_n(2); ++k)
+          std::memcpy(gf.block(dec_.offset(0) + i, dec_.offset(1) + j,
+                               dec_.offset(2) + k),
+                      f_.block(i, j, k), bytes);
+  }
+  const auto forces = export_step_forces_global();  // collective
+  if (comm_.rank() == 0) {
+    global.cdm() = cdm_;
+    if (forces.fresh) global.import_step_forces(forces);
+  }
+  comm_.barrier();
+}
+
+}  // namespace v6d::parallel

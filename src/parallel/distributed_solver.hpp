@@ -1,0 +1,122 @@
+// Distributed hybrid Vlasov / N-body solver — the paper's execution model
+// (§5.1.3) on the in-process rank runtime (comm::run).
+//
+// Each rank owns one brick of the Vlasov spatial grid (velocity space is
+// never decomposed) plus the matching brick of the PM mesh.  One KDK step
+// runs the same sequence as the serial HybridSolver, with the
+// communication seams the paper describes:
+//
+//   * position sweeps read neighbor bricks through
+//     mesh::exchange_phase_space_halo (the dominant Vlasov communication);
+//   * density deposits spill into ghost cells and are folded onto the
+//     owning neighbor with mesh::fold_grid_halo;
+//   * the Poisson solve runs on the distributed FFT
+//     (fft::ParallelFft3D) after a brick -> x-slab redistribution
+//     (parallel/field_exchange.hpp);
+//   * the CFL step search and the conservation diagnostics are
+//     allreduce-d so every rank takes identical steps.
+//
+// Deliberate deviation from the paper, documented in docs/ARCHITECTURE.md:
+// CDM particles are *replicated* on every rank (each rank deposits only
+// the particles inside its brick, mesh forces are allreduce-d, and the
+// short-range tree runs redundantly).  The paper's headline scaling axis
+// is the Vlasov part; a particle-exchange layer can land on this seam
+// later without touching the Vlasov side.
+//
+// Construction shards an already built (serial) HybridSolver, so scenario
+// factories and checkpoints keep a single source of truth for initial
+// conditions; gather_into() writes the evolved state back.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "comm/cart.hpp"
+#include "common/timer.hpp"
+#include "fft/parallel_fft.hpp"
+#include "hybrid/hybrid_solver.hpp"
+#include "mesh/decomposition.hpp"
+
+namespace v6d::parallel {
+
+class DistributedHybridSolver {
+ public:
+  /// Shard rank-local state out of the fully built global solver; the
+  /// global object is only read during construction.  `decomp` must
+  /// multiply to comm.size() and satisfy parallel::validate_decomp.
+  /// A fresh force cache on the global solver is sharded too, so a
+  /// resumed run continues bit-identically.
+  DistributedHybridSolver(const hybrid::HybridSolver& global,
+                          comm::Communicator& comm,
+                          std::array<int, 3> decomp);
+
+  /// One KDK step from a0 to a1 (collective; all ranks must agree on the
+  /// interval — use suggest_next_a).
+  void step(double a0, double a1);
+
+  /// CFL-limited step choice; the shift bound is allreduce-d so the
+  /// result is identical on every rank (collective).
+  double suggest_next_a(double a0, double da_max);
+
+  /// Global total mass (allreduce-d conservation diagnostic; collective).
+  double total_mass();
+
+  vlasov::PhaseSpace& local_f() { return f_; }
+  const vlasov::PhaseSpace& local_f() const { return f_; }
+  const nbody::Particles& cdm() const { return cdm_; }
+  comm::CartTopology& cart() { return cart_; }
+  const mesh::BrickDecomposition& decomposition() const { return dec_; }
+  bool has_neutrinos() const { return has_nu_; }
+
+  /// The step-boundary force cache in *global* layout: the Vlasov-grid
+  /// acceleration bricks are assembled across ranks (collective), the
+  /// replicated particle accelerations are copied.  Feeds checkpoints and
+  /// gather_into.
+  hybrid::HybridSolver::StepForces export_step_forces_global();
+  /// Slice a global-layout force cache back onto this rank (resume path).
+  /// Throws std::runtime_error on shape mismatch.
+  void import_step_forces_global(const hybrid::HybridSolver::StepForces& sf);
+
+  /// Write the evolved state back into the global solver: every rank
+  /// copies its f brick (disjoint), rank 0 restores particles and the
+  /// force cache (collective).
+  void gather_into(hybrid::HybridSolver& global);
+
+  TimerRegistry& timers() { return timers_; }
+
+ private:
+  void compute_forces(double a);
+  bool owns_particle(std::size_t i) const;
+  void deposit_cdm_density();
+  void deposit_nu_density();
+  vlasov::HaloFiller halo_filler();
+
+  comm::Communicator& comm_;
+  comm::CartTopology cart_;
+  mesh::BrickDecomposition dec_;     // Vlasov spatial grid bricks
+  mesh::BrickDecomposition pm_dec_;  // PM mesh bricks
+  fft::ParallelFft3D pfft_;
+
+  vlasov::PhaseSpace f_;   // local brick (+ ghosts)
+  nbody::Particles cdm_;   // replicated
+  double box_;
+  cosmo::Background background_;
+  hybrid::HybridOptions options_;
+
+  mesh::MeshPatch patch_;  // local PM brick in global coordinates
+  hybrid::TreePmDerived treepm_derived_;
+
+  mesh::Grid3D<double> rho_cdm_, rho_nu_;          // local PM bricks
+  mesh::Grid3D<double> gx_cdm_, gy_cdm_, gz_cdm_;  // filtered (particles)
+  mesh::Grid3D<double> gx_nu_, gy_nu_, gz_nu_;     // full (Vlasov kicks)
+  mesh::Grid3D<double> nu_ax_, nu_ay_, nu_az_;     // accel on local f grid
+  std::vector<double> ax_, ay_, az_;               // particle accelerations
+  std::vector<std::size_t> owned_;  // this rank's ownership split, refreshed
+                                    // once per force assembly
+  bool forces_fresh_ = false;
+  bool has_nu_ = false;
+
+  TimerRegistry timers_;
+};
+
+}  // namespace v6d::parallel

@@ -1,0 +1,44 @@
+// Layout changes between the brick decomposition (mesh/decomposition.hpp)
+// and the x-slab layout of the distributed FFT (fft/parallel_fft.hpp).
+//
+// The PM density is deposited into per-rank bricks (matching the Vlasov
+// decomposition, paper §5.1.3) but the parallel FFT wants contiguous
+// x-slabs; these helpers move interiors between the two layouts with one
+// personalized all-to-all each way — the same communication shape as the
+// paper's "slab redistribution before the SSL II FFT".
+#pragma once
+
+#include <vector>
+
+#include "comm/cart.hpp"
+#include "fft/parallel_fft.hpp"
+#include "mesh/decomposition.hpp"
+#include "mesh/grid.hpp"
+
+namespace v6d::parallel {
+
+/// Redistribute the interior of a brick-decomposed scalar field into this
+/// rank's x-slab of the parallel FFT (complex [x_local][y][z] layout,
+/// z contiguous).  `dec` describes the local brick of the cubic
+/// pfft.n()^3 mesh; every rank must call collectively.
+std::vector<fft::cplx> brick_to_slab(const mesh::Grid3D<double>& brick,
+                                     const mesh::BrickDecomposition& dec,
+                                     const fft::ParallelFft3D& pfft,
+                                     comm::CartTopology& cart);
+
+/// Inverse redistribution: scatter the real parts of this rank's x-slab
+/// back into the brick interiors (ghosts untouched).
+void slab_to_brick(const std::vector<fft::cplx>& slab,
+                   const fft::ParallelFft3D& pfft,
+                   const mesh::BrickDecomposition& dec,
+                   comm::CartTopology& cart, mesh::Grid3D<double>& brick);
+
+/// Assemble the full global field from disjoint brick interiors on every
+/// rank (allreduce of a zero-padded global grid).  Used by diagnostics and
+/// the checkpoint force gather; `global` must be pre-sized to the global
+/// extents (any ghost width; ghosts are left zero).
+void allgather_bricks(const mesh::Grid3D<double>& brick,
+                      const mesh::BrickDecomposition& dec,
+                      comm::Communicator& comm, mesh::Grid3D<double>& global);
+
+}  // namespace v6d::parallel

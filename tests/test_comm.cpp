@@ -141,6 +141,74 @@ TEST(Comm, ExceptionInRankPropagates) {
                std::runtime_error);
 }
 
+TEST(Comm, ThrowingRankWakesPeerBlockedInRecv) {
+  // Rank 0 blocks on a message rank 1 will never send; without the abort
+  // path, join() would hang forever.  The original error must surface.
+  try {
+    run(2, [&](Communicator& comm) {
+      if (comm.rank() == 1) throw std::runtime_error("rank 1 died");
+      double sink = 0.0;
+      comm.recv(1, 42, &sink, 1);  // never satisfied
+      FAIL() << "recv from a dead rank must not return";
+    });
+    FAIL() << "run() must rethrow the rank error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 1 died");
+  }
+}
+
+TEST(Comm, ThrowingRankWakesPeersBlockedInBarrier) {
+  try {
+    run(4, [&](Communicator& comm) {
+      if (comm.rank() == 3) throw std::runtime_error("rank 3 died");
+      comm.barrier();  // can never complete: rank 3 will not arrive
+      FAIL() << "barrier without a dead rank's arrival must not complete";
+    });
+    FAIL() << "run() must rethrow the rank error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 3 died");
+  }
+}
+
+TEST(Comm, ThrowingRankWakesPeerBlockedInCollective) {
+  // Collectives are built on the shared barrier; a dead rank must abort
+  // them too, and the first real error wins over the unwind noise.
+  try {
+    run(2, [&](Communicator& comm) {
+      if (comm.rank() == 0) throw std::runtime_error("rank 0 died");
+      comm.allreduce_sum(1.0);
+      FAIL() << "allreduce with a dead rank must not complete";
+    });
+    FAIL() << "run() must rethrow the rank error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 0 died");
+  }
+}
+
+TEST(Mailbox, TrimsDrainedQueues) {
+  Mailbox mailbox;
+  EXPECT_EQ(mailbox.queue_count(), 0u);
+  // Many distinct (source, tag) pairs, as a long run cycling through
+  // phase-scoped tags produces.
+  for (int tag = 0; tag < 64; ++tag)
+    mailbox.push(0, tag, std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_EQ(mailbox.queue_count(), 64u);
+  for (int tag = 0; tag < 64; ++tag) {
+    const auto payload = mailbox.pop(0, tag);
+    EXPECT_EQ(payload.size(), 3u);
+  }
+  // Drained queues are erased, not kept as empty deques.
+  EXPECT_EQ(mailbox.queue_count(), 0u);
+
+  // FIFO order within a queue survives the trim logic.
+  mailbox.push(2, 7, std::vector<std::uint8_t>{1});
+  mailbox.push(2, 7, std::vector<std::uint8_t>{2});
+  EXPECT_EQ(mailbox.queue_count(), 1u);
+  EXPECT_EQ(mailbox.pop(2, 7)[0], 1);
+  EXPECT_EQ(mailbox.pop(2, 7)[0], 2);
+  EXPECT_EQ(mailbox.queue_count(), 0u);
+}
+
 TEST(Comm, RunCollectGathersValues) {
   const auto values =
       run_collect(4, [](Communicator& comm) { return comm.rank() * 2.5; });

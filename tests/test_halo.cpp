@@ -142,4 +142,135 @@ TEST_P(HaloRanks, FoldHaloAccumulatesDepositsOnce) {
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, HaloRanks, ::testing::Values(1, 2, 4, 8));
 
+TEST(HaloValidation, RejectsDecomposedAxisThinnerThanGhost) {
+  // 4 cells split over 4 ranks -> local extent 1 < ghost 3: the pack would
+  // read out-of-range interior; the exchange must refuse instead.
+  EXPECT_THROW(
+      comm::run(4,
+                [&](comm::Communicator& comm) {
+                  comm::CartTopology cart(comm, {4, 1, 1});
+                  mesh::BrickDecomposition dec({4, 4, 4}, cart.dims(),
+                                               cart.coords());
+                  vlasov::PhaseSpaceDims dims;
+                  dims.nx = dec.local_n(0);
+                  dims.ny = dec.local_n(1);
+                  dims.nz = dec.local_n(2);
+                  dims.nux = dims.nuy = dims.nuz = 2;
+                  vlasov::PhaseSpace f(dims, vlasov::PhaseSpaceGeometry{});
+                  mesh::exchange_phase_space_halo(f, cart);
+                }),
+      std::invalid_argument);
+
+  EXPECT_THROW(
+      comm::run(4,
+                [&](comm::Communicator& comm) {
+                  comm::CartTopology cart(comm, {4, 1, 1});
+                  mesh::Grid3D<double> grid(1, 8, 8, 2);  // 1 < ghost 2
+                  mesh::exchange_grid_halo(grid, cart);
+                }),
+      std::invalid_argument);
+
+  EXPECT_THROW(
+      comm::run(4,
+                [&](comm::Communicator& comm) {
+                  comm::CartTopology cart(comm, {4, 1, 1});
+                  mesh::Grid3D<double> grid(1, 8, 8, 2);
+                  mesh::fold_grid_halo(grid, cart);
+                }),
+      std::invalid_argument);
+}
+
+TEST(HaloValidation, UndecomposedAxisThinnerThanGhostWrapsPeriodically) {
+  // ny = nz = 2 with ghost 3 (the quasi-1D two_stream shape): the halo of
+  // the undecomposed axes must be the periodic wrap — a self-send of
+  // "interior slabs" would read out-of-range cells.
+  const int n_global = 8, thin = 2, nu = 2;
+  comm::run(2, [&](comm::Communicator& comm) {
+    comm::CartTopology cart(comm, {2, 1, 1});
+    mesh::BrickDecomposition dec({n_global, thin, thin}, cart.dims(),
+                                 cart.coords());
+    vlasov::PhaseSpaceDims dims;
+    dims.nx = dec.local_n(0);
+    dims.ny = thin;
+    dims.nz = thin;
+    dims.nux = dims.nuy = dims.nuz = nu;
+    vlasov::PhaseSpaceGeometry geom;
+    vlasov::PhaseSpace f(dims, geom);
+    for (int i = 0; i < dims.nx; ++i)
+      for (int j = 0; j < dims.ny; ++j)
+        for (int k = 0; k < dims.nz; ++k) {
+          float* blk = f.block(i, j, k);
+          for (std::size_t v = 0; v < f.block_size(); ++v)
+            blk[v] = cell_value(dec.offset(0) + i, j, k, v);
+        }
+
+    mesh::exchange_phase_space_halo(f, cart);
+
+    const int g = dims.ghost;
+    auto wrap = [](int i, int n) { return ((i % n) + n) % n; };
+    for (int i = -g; i < dims.nx + g; ++i)
+      for (int j = -g; j < dims.ny + g; ++j)
+        for (int k = -g; k < dims.nz + g; ++k) {
+          const float* blk = f.block(i, j, k);
+          const int gx = wrap(dec.offset(0) + i, n_global);
+          for (std::size_t v = 0; v < f.block_size(); ++v)
+            ASSERT_FLOAT_EQ(blk[v],
+                            cell_value(gx, wrap(j, thin), wrap(k, thin), v))
+                << "rank " << comm.rank() << " cell " << i << "," << j << ","
+                << k;
+        }
+  });
+}
+
+TEST(HaloValidation, FoldAcrossThinUndecomposedAxesAccumulatesOnce) {
+  // Deposit-style fold on an (8, 2, 2) grid split 2 ways along x; the thin
+  // y/z axes (extent 2 < ghost 2+... ) wrap multiple times, so the fold
+  // must place every ghost contribution on its periodic image exactly
+  // once.  With all-ones deposits the result is a pure coverage count, and
+  // the fold must conserve the deposited total.
+  const int nx = 8, thin = 2, ghost = 2;
+  comm::run(2, [&](comm::Communicator& comm) {
+    comm::CartTopology cart(comm, {2, 1, 1});
+    mesh::BrickDecomposition dec({nx, thin, thin}, cart.dims(),
+                                 cart.coords());
+    mesh::Grid3D<double> grid(dec.local_n(0), thin, thin, ghost);
+    for (int i = -ghost; i < grid.nx() + ghost; ++i)
+      for (int j = -ghost; j < thin + ghost; ++j)
+        for (int k = -ghost; k < thin + ghost; ++k) grid.at(i, j, k) = 1.0;
+    const double deposited =
+        static_cast<double>(grid.nx() + 2 * ghost) * (thin + 2 * ghost) *
+        (thin + 2 * ghost);
+    mesh::fold_grid_halo(grid, cart);
+
+    // Images of global index g covered by an extended region of extent
+    // `local` at `off` along an axis of global size `n` (multi-wrap aware).
+    auto images = [&](int g, int n, int off, int local) {
+      int count = 0;
+      for (int img = -2; img <= 2; ++img) {
+        const int local_idx = g + img * n - off;
+        if (local_idx >= -ghost && local_idx < local + ghost) ++count;
+      }
+      return count;
+    };
+    for (int i = 0; i < grid.nx(); ++i)
+      for (int j = 0; j < thin; ++j)
+        for (int k = 0; k < thin; ++k) {
+          int expected = 0;
+          for (int cx = 0; cx < 2; ++cx) {
+            mesh::BrickDecomposition d2({nx, thin, thin}, cart.dims(),
+                                        {cx, 0, 0});
+            expected += images(dec.offset(0) + i, nx, d2.offset(0),
+                               d2.local_n(0)) *
+                        images(j, thin, 0, thin) * images(k, thin, 0, thin);
+          }
+          ASSERT_DOUBLE_EQ(grid.at(i, j, k), expected)
+              << i << " " << j << " " << k;
+        }
+
+    // Conservation: nothing deposited is lost or duplicated.
+    const double total = comm.allreduce_sum(grid.sum_interior());
+    EXPECT_DOUBLE_EQ(total, 2.0 * deposited);
+  });
+}
+
 }  // namespace
