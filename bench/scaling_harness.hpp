@@ -304,6 +304,15 @@ struct DistributedStepResult {
   double step_seconds = 0.0;  // per step, max over ranks
   double halo_seconds = 0.0;  // phase-space halo exchange, max over ranks
   double pm_seconds = 0.0;    // distributed PM solve, max over ranks
+  // Overlap diagnostics (overlap=true runs; per step, max over ranks):
+  double halo_wait_seconds = 0.0;  // exposed (blocked) part of halo_seconds
+  double exposed_seconds = 0.0;   // all comm time spent *blocked* (halo +
+                                  // fold + slab waits) — the un-hidden part
+  double interior_seconds = 0.0;  // ghost-independent interior sweeps
+  double boundary_seconds = 0.0;  // boundary-shell sweeps (+ windows)
+  double full_seconds = 0.0;      // full-line sweeps (split disengaged:
+                                  // undecomposed/thin axes, or the
+                                  // V6D_OVERLAP_SPLIT heuristic)
   std::uint64_t bytes_per_rank = 0;  // all comm (halo + FFT + reductions)
   std::array<int, 3> global{};       // global Vlasov grid used
 };
@@ -311,9 +320,11 @@ struct DistributedStepResult {
 /// Run `steps` full KDK steps of parallel::DistributedHybridSolver — halo
 /// exchange, ghost fold, distributed-FFT Poisson, allreduced CFL — on
 /// `ranks` simulated ranks with a fixed local_n^3 brick per rank (weak
-/// scaling).  This is the same code path `v6d run ranks=N` executes.
+/// scaling).  This is the same code path `v6d run ranks=N` executes;
+/// `overlap` selects the overlapped or the synchronous reference pipeline.
 inline DistributedStepResult measure_distributed_step(int ranks, int local_n,
-                                                      int nu, int steps) {
+                                                      int nu, int steps,
+                                                      bool overlap = true) {
   DistributedStepResult result;
   const auto dims = comm::CartTopology::choose_dims(ranks);
   const std::array<int, 3> global = {local_n * dims[0], local_n * dims[1],
@@ -354,10 +365,15 @@ inline DistributedStepResult measure_distributed_step(int ranks, int local_n,
   std::vector<double> step_time(static_cast<std::size_t>(ranks), 0.0);
   std::vector<double> halo_time(static_cast<std::size_t>(ranks), 0.0);
   std::vector<double> pm_time(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<double> halo_wait(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<double> exposed_time(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<double> interior_time(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<double> boundary_time(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<double> full_time(static_cast<std::size_t>(ranks), 0.0);
   std::vector<std::uint64_t> bytes(static_cast<std::size_t>(ranks), 0);
 
   comm::run(ranks, [&](comm::Communicator& comm) {
-    parallel::DistributedHybridSolver ds(solver, comm, dims);
+    parallel::DistributedHybridSolver ds(solver, comm, dims, overlap);
     comm.reset_traffic_counters();
     comm.barrier();
     Stopwatch total;
@@ -372,6 +388,20 @@ inline DistributedStepResult measure_distributed_step(int ranks, int local_n,
     step_time[r] = total.seconds() / steps;
     halo_time[r] = ds.timers().total("halo") / steps;
     pm_time[r] = ds.timers().total("pm") / steps;
+    // Exposed comm = the blocked waits the overlap failed to hide.  The
+    // synchronous path has no wait buckets: everything it spends in the
+    // halo is exposed by construction.
+    halo_wait[r] =
+        overlap ? ds.timers().total("halo-wait") / steps : halo_time[r];
+    exposed_time[r] =
+        overlap ? (ds.timers().total("halo-wait") +
+                   ds.timers().total("fold-wait") +
+                   ds.timers().total("slab-wait")) /
+                      steps
+                : halo_time[r];
+    interior_time[r] = ds.timers().total("sweep-interior") / steps;
+    boundary_time[r] = ds.timers().total("sweep-boundary") / steps;
+    full_time[r] = ds.timers().total("sweep-full") / steps;
     bytes[r] = comm.bytes_sent() / static_cast<std::uint64_t>(steps);
   });
 
@@ -380,6 +410,14 @@ inline DistributedStepResult measure_distributed_step(int ranks, int local_n,
     result.step_seconds = std::max(result.step_seconds, step_time[i]);
     result.halo_seconds = std::max(result.halo_seconds, halo_time[i]);
     result.pm_seconds = std::max(result.pm_seconds, pm_time[i]);
+    result.halo_wait_seconds =
+        std::max(result.halo_wait_seconds, halo_wait[i]);
+    result.exposed_seconds = std::max(result.exposed_seconds, exposed_time[i]);
+    result.interior_seconds =
+        std::max(result.interior_seconds, interior_time[i]);
+    result.boundary_seconds =
+        std::max(result.boundary_seconds, boundary_time[i]);
+    result.full_seconds = std::max(result.full_seconds, full_time[i]);
     result.bytes_per_rank = std::max(result.bytes_per_rank, bytes[i]);
   }
   return result;

@@ -24,6 +24,18 @@ std::vector<std::uint8_t> Communicator::recv_bytes(int source, int tag) {
   return ctx_->mailbox(rank_).pop(source, tag);
 }
 
+bool Communicator::RecvHandle::ready() {
+  if (done_) return true;
+  done_ = comm_->ctx_->mailbox(comm_->rank_).try_pop(source_, tag_, payload_);
+  return done_;
+}
+
+std::vector<std::uint8_t> Communicator::RecvHandle::wait() {
+  if (!done_) payload_ = comm_->ctx_->mailbox(comm_->rank_).pop(source_, tag_);
+  done_ = false;  // spent: a reused handle must not return stale bytes
+  return std::move(payload_);
+}
+
 void Communicator::barrier() { ctx_->barrier().arrive_and_wait(); }
 
 void Communicator::throw_size_mismatch(std::size_t got, std::size_t want) {

@@ -33,6 +33,46 @@ class Communicator {
   void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
   std::vector<std::uint8_t> recv_bytes(int source, int tag);
 
+  // ---- non-blocking receive (completion handles) ----
+  // Sends are buffered and never block, so the asynchronous half of an
+  // overlapped exchange is the receive: irecv() records a pending
+  // (source, tag) match that the caller completes after doing useful work.
+  // Handles on the same (source, tag) complete in post order (the mailbox
+  // is FIFO per pair).  wait() observes the context abort flag, so a peer
+  // dying mid-overlap wakes the waiter with AbortedError.
+  class RecvHandle {
+   public:
+    RecvHandle() = default;
+    bool valid() const { return comm_ != nullptr; }
+    /// Non-blocking completion test; caches the payload when it arrives.
+    bool ready();
+    /// Blocks until the message arrives and returns its payload; the
+    /// handle is spent afterwards.
+    std::vector<std::uint8_t> wait();
+    /// wait() + typed size-checked copy-out (mirrors recv<T>).
+    template <class T>
+    void wait_into(T* data, std::size_t count) {
+      auto payload = wait();
+      if (payload.size() != count * sizeof(T))
+        throw_size_mismatch(payload.size(), count * sizeof(T));
+      std::memcpy(data, payload.data(), payload.size());
+    }
+
+   private:
+    friend class Communicator;
+    RecvHandle(Communicator* comm, int source, int tag)
+        : comm_(comm), source_(source), tag_(tag) {}
+    Communicator* comm_ = nullptr;
+    int source_ = 0, tag_ = 0;
+    bool done_ = false;
+    std::vector<std::uint8_t> payload_;
+  };
+
+  /// Post a non-blocking receive for (source, tag).
+  RecvHandle irecv(int source, int tag) {
+    return RecvHandle(this, source, tag);
+  }
+
   template <class T>
   void send(int dest, int tag, const T* data, std::size_t count) {
     send_bytes(dest, tag, data, count * sizeof(T));

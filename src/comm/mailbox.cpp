@@ -28,6 +28,20 @@ std::vector<std::uint8_t> Mailbox::pop(int source, int tag) {
   return payload;
 }
 
+bool Mailbox::try_pop(int source, int tag, std::vector<std::uint8_t>& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = queues_.find({source, tag});
+  if (it == queues_.end() || it->second.empty()) {
+    if (abort_ && abort_->load(std::memory_order_acquire))
+      throw AbortedError();
+    return false;
+  }
+  out = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  return true;
+}
+
 bool Mailbox::probe(int source, int tag) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = queues_.find({source, tag});

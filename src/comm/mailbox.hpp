@@ -38,6 +38,11 @@ class Mailbox {
   /// Blocks until a matching message arrives; returns its payload.
   /// Throws AbortedError if the context is aborted while waiting.
   std::vector<std::uint8_t> pop(int source, int tag);
+  /// Non-blocking pop: moves a matching message into `out` and returns
+  /// true, or returns false if none is queued.  Throws AbortedError once
+  /// the context is aborted, so completion-handle pollers cannot spin on a
+  /// message that will never arrive.
+  bool try_pop(int source, int tag, std::vector<std::uint8_t>& out);
   /// Non-blocking probe: true if a matching message is queued.
   bool probe(int source, int tag);
 

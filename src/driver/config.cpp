@@ -53,6 +53,7 @@ void SimulationConfig::apply(const Options& options) {
 
   ranks = options.get_int("ranks", ranks);
   decomp = options.get("decomp", decomp);
+  overlap = options.get_bool("overlap", overlap);
 
   max_steps = options.get_int("max_steps", max_steps);
   checkpoint_every = options.get_int("checkpoint_every", checkpoint_every);
@@ -83,6 +84,7 @@ std::map<std::string, std::string> SimulationConfig::to_kv() const {
   kv["perturb_amp"] = fmt_double(perturb_amp);
   kv["ranks"] = fmt_int(ranks);
   kv["decomp"] = decomp;
+  kv["overlap"] = fmt_int(overlap ? 1 : 0);
   kv["max_steps"] = fmt_int(max_steps);
   kv["checkpoint_every"] = fmt_int(checkpoint_every);
   kv["checkpoint_dir"] = checkpoint_dir;

@@ -46,6 +46,10 @@ struct SimulationConfig {
                               // distributed path (src/parallel/)
   std::string decomp = "";    // "DXxDYxDZ" rank topology ("" / "auto" =
                               // pick the most-cubic feasible split)
+  bool overlap = true;        // hide halo/fold/slab communication behind
+                              // interior compute (bit-identical to the
+                              // synchronous reference path; off = PR-4
+                              // blocking exchanges, kept for comparison)
 
   // --- driver control ---
   int max_steps = 0;          // stop after this many total steps (0 = off)

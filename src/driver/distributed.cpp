@@ -162,7 +162,7 @@ RunResult Driver::run_distributed() {
   Stopwatch wall;
 
   comm::run(cfg_.ranks, [&](comm::Communicator& comm) {
-    parallel::DistributedHybridSolver ds(*solver_, comm, dims);
+    parallel::DistributedHybridSolver ds(*solver_, comm, dims, cfg_.overlap);
     const bool lead = comm.rank() == 0;
     double a = a_;
     std::int64_t steps = steps_;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 namespace v6d::gravity {
@@ -69,14 +70,17 @@ PoissonSolver::PoissonSolver(int nx, int ny, int nz, double lx, double ly,
 void PoissonSolver::spectrum_of(const mesh::Grid3D<double>& rho,
                                 std::vector<fft::cplx>& spec) const {
   assert(rho.nx() == nx_ && rho.ny() == ny_ && rho.nz() == nz_);
-  // Interior copy (Grid3D may carry ghosts; FFT wants the packed interior).
-  std::vector<double> packed(static_cast<std::size_t>(nx_) * ny_ * nz_);
+  // Interior copy (Grid3D may carry ghosts; FFT wants the packed interior):
+  // one contiguous-row gather per (i, j) into reusable member scratch —
+  // no per-solve allocation, no per-cell index arithmetic.
+  packed_.resize(static_cast<std::size_t>(nx_) * ny_ * nz_);
+  const std::size_t row = sizeof(double) * static_cast<std::size_t>(nz_);
   std::size_t o = 0;
   for (int i = 0; i < nx_; ++i)
-    for (int j = 0; j < ny_; ++j)
-      for (int k = 0; k < nz_; ++k) packed[o++] = rho.at(i, j, k);
-  spec.resize(packed.size());
-  fft_.forward(packed.data(), spec.data());
+    for (int j = 0; j < ny_; ++j, o += nz_)
+      std::memcpy(packed_.data() + o, &rho.at(i, j, 0), row);
+  spec.resize(packed_.size());
+  fft_.forward(packed_.data(), spec.data());
 }
 
 void PoissonSolver::wavevector(int ix, int iy, int iz, double& kx,
@@ -95,19 +99,19 @@ double PoissonSolver::green_times_window(
 void PoissonSolver::solve(const mesh::Grid3D<double>& rho,
                           mesh::Grid3D<double>& phi,
                           const PoissonOptions& options) const {
-  std::vector<fft::cplx> spec;
-  spectrum_of(rho, spec);
+  spectrum_of(rho, spec_);
   std::size_t o = 0;
   for (int i = 0; i < nx_; ++i)
     for (int j = 0; j < ny_; ++j)
       for (int k = 0; k < nz_; ++k)
-        spec[o++] *= green_times_window(i, j, k, options);
-  std::vector<double> out(spec.size());
-  fft_.inverse(spec.data(), out.data());
+        spec_[o++] *= green_times_window(i, j, k, options);
+  real_out_.resize(spec_.size());
+  fft_.inverse(spec_.data(), real_out_.data());
+  const std::size_t row = sizeof(double) * static_cast<std::size_t>(nz_);
   o = 0;
   for (int i = 0; i < nx_; ++i)
-    for (int j = 0; j < ny_; ++j)
-      for (int k = 0; k < nz_; ++k) phi.at(i, j, k) = out[o++];
+    for (int j = 0; j < ny_; ++j, o += nz_)
+      std::memcpy(&phi.at(i, j, 0), real_out_.data() + o, row);
 }
 
 void PoissonSolver::solve_forces(const mesh::Grid3D<double>& rho,
@@ -115,34 +119,36 @@ void PoissonSolver::solve_forces(const mesh::Grid3D<double>& rho,
                                  mesh::Grid3D<double>& gy,
                                  mesh::Grid3D<double>& gz,
                                  const PoissonOptions& options) const {
-  std::vector<fft::cplx> spec;
-  spectrum_of(rho, spec);
-  std::vector<fft::cplx> cx(spec.size()), cy(spec.size()), cz(spec.size());
+  spectrum_of(rho, spec_);
+  cx_.resize(spec_.size());
+  cy_.resize(spec_.size());
+  cz_.resize(spec_.size());
   std::size_t o = 0;
   for (int i = 0; i < nx_; ++i)
     for (int j = 0; j < ny_; ++j)
       for (int k = 0; k < nz_; ++k, ++o) {
         const double g = green_times_window(i, j, k, options);
-        const fft::cplx phi_k = spec[o] * g;
+        const fft::cplx phi_k = spec_[o] * g;
         // Force = -grad(phi): multiply by -i k_d.
         double kx, ky, kz;
         wavevector(i, j, k, kx, ky, kz);
         const fft::cplx mi(0.0, -1.0);
-        cx[o] = mi * kx * phi_k;
-        cy[o] = mi * ky * phi_k;
-        cz[o] = mi * kz * phi_k;
+        cx_[o] = mi * kx * phi_k;
+        cy_[o] = mi * ky * phi_k;
+        cz_[o] = mi * kz * phi_k;
       }
-  std::vector<double> out(spec.size());
+  real_out_.resize(spec_.size());
+  const std::size_t row = sizeof(double) * static_cast<std::size_t>(nz_);
   auto unpack = [&](const std::vector<fft::cplx>& c, mesh::Grid3D<double>& g) {
-    fft_.inverse(c.data(), out.data());
+    fft_.inverse(c.data(), real_out_.data());
     std::size_t q = 0;
     for (int i = 0; i < nx_; ++i)
-      for (int j = 0; j < ny_; ++j)
-        for (int k = 0; k < nz_; ++k) g.at(i, j, k) = out[q++];
+      for (int j = 0; j < ny_; ++j, q += nz_)
+        std::memcpy(&g.at(i, j, 0), real_out_.data() + q, row);
   };
-  unpack(cx, gx);
-  unpack(cy, gy);
-  unpack(cz, gz);
+  unpack(cx_, gx);
+  unpack(cy_, gy);
+  unpack(cz_, gz);
 }
 
 }  // namespace v6d::gravity

@@ -78,6 +78,15 @@ class PoissonSolver {
   int nx_, ny_, nz_;
   double lx_, ly_, lz_;
   fft::RealFft3D fft_;
+  // Reusable scratch (sized nx*ny*nz on first use): one solve per step on
+  // the serial hot path used to reallocate all of these every call.
+  // NOTE: the scratch makes solve()/solve_forces() non-reentrant despite
+  // their const signatures — concurrent calls on ONE solver instance race
+  // on these buffers.  Use one PoissonSolver per thread/rank (the
+  // distributed path already does: its spectral solve goes through
+  // fft::ParallelFft3D, not this class).
+  mutable std::vector<double> packed_, real_out_;
+  mutable std::vector<fft::cplx> spec_, cx_, cy_, cz_;
 };
 
 }  // namespace v6d::gravity

@@ -46,31 +46,29 @@ void exchange_axis(comm::CartTopology& cart, int axis, int n_axis, int ghost,
   auto& comm = cart.comm();
   const auto nbr = cart.neighbors(axis);
 
-  // Send our low interior layers to the backward neighbor (they become its
-  // high ghosts) and vice versa.
-  auto make_buf = [&](int lo, int count) {
-    std::vector<float> buf;
-    pack(lo, count, t1, t2, buf);
-    return buf;
-  };
+  // Persistent per-rank (thread) scratch: halo exchange runs several times
+  // per step, so per-call vectors were steady-state allocation churn.
+  thread_local std::vector<float> send_hi, send_lo, recv_buf;
 
   const int tag_fwd = tag_base + axis * 4 + 0;  // travelling +axis
   const int tag_bwd = tag_base + axis * 4 + 1;  // travelling -axis
 
+  // Send our low interior layers to the backward neighbor (they become its
+  // high ghosts) and vice versa.
   // High interior -> forward neighbor's low ghosts.
-  std::vector<float> send_hi = make_buf(n_axis - ghost, ghost);
+  pack(n_axis - ghost, ghost, t1, t2, send_hi);
   comm.send(nbr[1], tag_fwd, send_hi.data(), send_hi.size());
   // Low interior -> backward neighbor's high ghosts.
-  std::vector<float> send_lo = make_buf(0, ghost);
+  pack(0, ghost, t1, t2, send_lo);
   comm.send(nbr[0], tag_bwd, send_lo.data(), send_lo.size());
 
-  std::vector<float> recv_lo(send_hi.size());
-  comm.recv(nbr[0], tag_fwd, recv_lo.data(), recv_lo.size());
-  unpack(-ghost, ghost, t1, t2, recv_lo);
+  recv_buf.resize(send_hi.size());
+  comm.recv(nbr[0], tag_fwd, recv_buf.data(), recv_buf.size());
+  unpack(-ghost, ghost, t1, t2, recv_buf);
 
-  std::vector<float> recv_hi(send_lo.size());
-  comm.recv(nbr[1], tag_bwd, recv_hi.data(), recv_hi.size());
-  unpack(n_axis, ghost, t1, t2, recv_hi);
+  recv_buf.resize(send_lo.size());
+  comm.recv(nbr[1], tag_bwd, recv_buf.data(), recv_buf.size());
+  unpack(n_axis, ghost, t1, t2, recv_buf);
 }
 
 }  // namespace
@@ -200,14 +198,14 @@ void exchange_grid_halo_impl(Grid3D<T>& grid, comm::CartTopology& cart) {
     require_ghost_fits("exchange_grid_halo", axis, n[axis], g,
                        cart.dims()[static_cast<std::size_t>(axis)]);
     const auto nbr = cart.neighbors(axis);
-    auto pack = [&](int lo, int count) {
-      std::vector<T> buf;
-      buf.reserve(static_cast<std::size_t>(count) * r[ta].count() *
+    thread_local std::vector<T> send_hi, send_lo, recv_buf;
+    auto pack = [&](int lo, std::vector<T>& buf) {
+      buf.clear();
+      buf.reserve(static_cast<std::size_t>(g) * r[ta].count() *
                   r[tb].count());
-      for (int a = lo; a < lo + count; ++a)
+      for (int a = lo; a < lo + g; ++a)
         for (int b = r[ta].lo; b < r[ta].hi; ++b)
           for (int c = r[tb].lo; c < r[tb].hi; ++c) buf.push_back(at(a, b, c));
-      return buf;
     };
     auto unpack = [&](int lo, int count, const std::vector<T>& buf) {
       std::size_t o = 0;
@@ -217,16 +215,16 @@ void exchange_grid_halo_impl(Grid3D<T>& grid, comm::CartTopology& cart) {
     };
     const int tag_fwd = kHaloTagBase + 50 + axis * 4;
     const int tag_bwd = kHaloTagBase + 50 + axis * 4 + 1;
-    auto send_hi = pack(n[axis] - g, g);
+    pack(n[axis] - g, send_hi);
     comm.send(nbr[1], tag_fwd, send_hi.data(), send_hi.size());
-    auto send_lo = pack(0, g);
+    pack(0, send_lo);
     comm.send(nbr[0], tag_bwd, send_lo.data(), send_lo.size());
-    std::vector<T> recv_lo(send_hi.size());
-    comm.recv(nbr[0], tag_fwd, recv_lo.data(), recv_lo.size());
-    unpack(-g, g, recv_lo);
-    std::vector<T> recv_hi(send_lo.size());
-    comm.recv(nbr[1], tag_bwd, recv_hi.data(), recv_hi.size());
-    unpack(n[axis], g, recv_hi);
+    recv_buf.resize(send_hi.size());
+    comm.recv(nbr[0], tag_fwd, recv_buf.data(), recv_buf.size());
+    unpack(-g, g, recv_buf);
+    recv_buf.resize(send_lo.size());
+    comm.recv(nbr[1], tag_bwd, recv_buf.data(), recv_buf.size());
+    unpack(n[axis], g, recv_buf);
   }
 }
 
@@ -288,17 +286,17 @@ void fold_grid_halo(Grid3D<double>& grid, comm::CartTopology& cart) {
     require_ghost_fits("fold_grid_halo", axis, n[axis], g,
                        cart.dims()[static_cast<std::size_t>(axis)]);
     const auto nbr = cart.neighbors(axis);
-    auto pack = [&](int lo, int count) {
-      std::vector<double> buf;
-      buf.reserve(static_cast<std::size_t>(count) * r[ta].count() *
+    thread_local std::vector<double> send_hi, send_lo, recv_buf;
+    auto pack = [&](int lo, std::vector<double>& buf) {
+      buf.clear();
+      buf.reserve(static_cast<std::size_t>(g) * r[ta].count() *
                   r[tb].count());
-      for (int a = lo; a < lo + count; ++a)
+      for (int a = lo; a < lo + g; ++a)
         for (int b = r[ta].lo; b < r[ta].hi; ++b)
           for (int c = r[tb].lo; c < r[tb].hi; ++c) {
             buf.push_back(at(a, b, c));
             at(a, b, c) = 0.0;
           }
-      return buf;
     };
     auto add = [&](int lo, int count, const std::vector<double>& buf) {
       std::size_t o = 0;
@@ -309,16 +307,16 @@ void fold_grid_halo(Grid3D<double>& grid, comm::CartTopology& cart) {
     const int tag_fwd = kFoldTagBase + axis * 4;
     const int tag_bwd = kFoldTagBase + axis * 4 + 1;
     // Our high ghosts belong to the forward neighbor's low interior.
-    auto send_hi = pack(n[axis], g);
+    pack(n[axis], send_hi);
     comm.send(nbr[1], tag_fwd, send_hi.data(), send_hi.size());
-    auto send_lo = pack(-g, g);
+    pack(-g, send_lo);
     comm.send(nbr[0], tag_bwd, send_lo.data(), send_lo.size());
-    std::vector<double> recv_lo(send_hi.size());
-    comm.recv(nbr[0], tag_fwd, recv_lo.data(), recv_lo.size());
-    add(0, g, recv_lo);
-    std::vector<double> recv_hi(send_lo.size());
-    comm.recv(nbr[1], tag_bwd, recv_hi.data(), recv_hi.size());
-    add(n[axis] - g, g, recv_hi);
+    recv_buf.resize(send_hi.size());
+    comm.recv(nbr[0], tag_fwd, recv_buf.data(), recv_buf.size());
+    add(0, g, recv_buf);
+    recv_buf.resize(send_lo.size());
+    comm.recv(nbr[1], tag_bwd, recv_buf.data(), recv_buf.size());
+    add(n[axis] - g, g, recv_buf);
   }
 }
 

@@ -6,15 +6,38 @@
 // runs the same sequence as the serial HybridSolver, with the
 // communication seams the paper describes:
 //
-//   * position sweeps read neighbor bricks through
-//     mesh::exchange_phase_space_halo (the dominant Vlasov communication);
+//   * position sweeps read neighbor bricks through the spatial halo
+//     (the dominant Vlasov communication);
 //   * density deposits spill into ghost cells and are folded onto the
-//     owning neighbor with mesh::fold_grid_halo;
+//     owning neighbor;
 //   * the Poisson solve runs on the distributed FFT
 //     (fft::ParallelFft3D) after a brick -> x-slab redistribution
 //     (parallel/field_exchange.hpp);
 //   * the CFL step search and the conservation diagnostics are
 //     allreduce-d so every rank takes identical steps.
+//
+// Two stepping modes share this skeleton (ctor flag / `overlap=` config):
+//
+//   * synchronous (the reference): every exchange is a blocking call
+//     before or after the compute it serves — exactly the PR-4 path;
+//   * overlapped (default): communication is split into begin/finish
+//     halves and hidden behind independent compute, the paper's central
+//     scaling technique.  Position sweeps advect the ghost-independent
+//     interior while the single-axis face messages fly, then sweep the
+//     ghost-width boundary shells (vlasov range-restricted entry points +
+//     mesh::HaloPlan); the CDM ghost fold flies during the Vlasov moment
+//     accumulation (mesh::GridFoldPlan); the brick -> x-slab FFT
+//     redistribution flies during Green-function table prep, and each
+//     force component's slab -> brick return flies during the next
+//     component's spectral work (parallel::SlabExchange).
+//
+// The two modes are bit-identical: every restructured stage performs the
+// same floating-point operations in the same order, only earlier relative
+// to the communication (tests/test_parallel.cpp asserts exact equality).
+// Exposed (un-hidden) communication time is tracked separately in the
+// "halo-wait" / "fold-wait" / "slab-wait" timer buckets, and the
+// interior/boundary sweep split in "sweep-interior" / "sweep-boundary" —
+// bench/table3 turns these into the halo_overlap_efficiency metric.
 //
 // Deliberate deviation from the paper, documented in docs/ARCHITECTURE.md:
 // CDM particles are *replicated* on every rank (each rank deposits only
@@ -34,8 +57,12 @@
 #include "comm/cart.hpp"
 #include "common/timer.hpp"
 #include "fft/parallel_fft.hpp"
+#include "gravity/poisson.hpp"
 #include "hybrid/hybrid_solver.hpp"
 #include "mesh/decomposition.hpp"
+#include "mesh/halo_plan.hpp"
+#include "parallel/field_exchange.hpp"
+#include "vlasov/sweeps.hpp"
 
 namespace v6d::parallel {
 
@@ -45,10 +72,12 @@ class DistributedHybridSolver {
   /// global object is only read during construction.  `decomp` must
   /// multiply to comm.size() and satisfy parallel::validate_decomp.
   /// A fresh force cache on the global solver is sharded too, so a
-  /// resumed run continues bit-identically.
+  /// resumed run continues bit-identically.  `overlap` selects the
+  /// overlapped stepping pipeline (bit-identical to the synchronous
+  /// reference; default on).
   DistributedHybridSolver(const hybrid::HybridSolver& global,
                           comm::Communicator& comm,
-                          std::array<int, 3> decomp);
+                          std::array<int, 3> decomp, bool overlap = true);
 
   /// One KDK step from a0 to a1 (collective; all ranks must agree on the
   /// interval — use suggest_next_a).
@@ -67,6 +96,7 @@ class DistributedHybridSolver {
   comm::CartTopology& cart() { return cart_; }
   const mesh::BrickDecomposition& decomposition() const { return dec_; }
   bool has_neutrinos() const { return has_nu_; }
+  bool overlap_enabled() const { return overlap_; }
 
   /// The step-boundary force cache in *global* layout: the Vlasov-grid
   /// acceleration bricks are assembled across ranks (collective), the
@@ -87,8 +117,15 @@ class DistributedHybridSolver {
  private:
   void compute_forces(double a);
   bool owns_particle(std::size_t i) const;
+  void deposit_cdm_local();
   void deposit_cdm_density();
+  void compute_nu_moment();
+  void inject_nu_density();
   void deposit_nu_density();
+  void prepare_green_tables(const gravity::PoissonOptions& cdm_long,
+                            const gravity::PoissonOptions& cdm_short,
+                            const gravity::PoissonOptions& nu_opts);
+  void drift(double drift_factor);
   vlasov::HaloFiller halo_filler();
 
   comm::Communicator& comm_;
@@ -110,11 +147,30 @@ class DistributedHybridSolver {
   mesh::Grid3D<double> gx_cdm_, gy_cdm_, gz_cdm_;  // filtered (particles)
   mesh::Grid3D<double> gx_nu_, gy_nu_, gz_nu_;     // full (Vlasov kicks)
   mesh::Grid3D<double> nu_ax_, nu_ay_, nu_az_;     // accel on local f grid
+  mesh::Grid3D<double> rho_v_;                     // nu moment scratch
   std::vector<double> ax_, ay_, az_;               // particle accelerations
   std::vector<std::size_t> owned_;  // this rank's ownership split, refreshed
                                     // once per force assembly
   bool forces_fresh_ = false;
   bool has_nu_ = false;
+  bool overlap_ = true;
+  bool split_sweeps_ = true;  // interior/boundary split inside overlap mode
+                              // (V6D_OVERLAP_SPLIT=on|off|auto; auto engages
+                              // it only when hardware threads can actually
+                              // run ranks concurrently — the split re-reads
+                              // stencil margins, which pays only when there
+                              // is real concurrency to hide latency behind)
+
+  // Overlap pipeline state: precomputed plans + persistent buffers (no
+  // steady-state allocation on the stepping path).
+  mesh::HaloPlan ps_plan_;                   // split phase-space faces
+  mesh::GridFoldPlan fold_cdm_, fold_nu_;    // split deposit folds
+  SlabExchange slab_cdm_x_, slab_nu_x_;      // brick -> slab (densities)
+  SlabExchange slab_out_;                    // slab -> brick (forces)
+  vlasov::PositionBoundarySlabs boundary_;   // pre-sweep shell windows
+  std::vector<double> green_long_, green_short_, green_nu_;  // mode tables
+  std::vector<fft::cplx> slab_cdm_sync_, slab_nu_sync_;      // sync path
+  std::vector<fft::cplx> phi_, spec_;
 
   TimerRegistry timers_;
 };

@@ -41,4 +41,67 @@ void allgather_bricks(const mesh::Grid3D<double>& brick,
                       const mesh::BrickDecomposition& dec,
                       comm::Communicator& comm, mesh::Grid3D<double>& global);
 
+/// Split (overlappable) brick <-> x-slab redistribution.
+///
+/// The blocking helpers above run one barrier-synchronized alltoallv; this
+/// plan moves the same bytes through buffered point-to-point sends so the
+/// caller can compute (Green-function tables, the next spectral component)
+/// while messages are in flight.  Footprint intersections are precomputed
+/// at construction and pack buffers persist, so steady-state begin/finish
+/// pairs allocate nothing.  Pack/unpack loop orders match the blocking
+/// versions, making the redistributed fields bit-identical.
+///
+/// Only one exchange (either direction) may be in flight per instance;
+/// distinct instances on the same communicator need distinct `tag_base`s.
+class SlabExchange {
+ public:
+  SlabExchange() = default;
+  SlabExchange(const mesh::BrickDecomposition& dec,
+               const fft::ParallelFft3D& pfft, comm::CartTopology& cart,
+               int tag_base);
+
+  /// Pack this rank's brick rows for every destination slab and post the
+  /// sends + receive handles.  `brick` may be reused immediately.
+  void begin_to_slab(const mesh::Grid3D<double>& brick);
+  /// Complete the receives; returns the persistent slab buffer (valid
+  /// until the next begin_to_slab on this instance).
+  std::vector<fft::cplx>& finish_to_slab();
+
+  /// Inverse direction: scatter this rank's slab rows toward the bricks.
+  /// `slab` may be reused immediately after return.
+  void begin_to_brick(const std::vector<fft::cplx>& slab);
+  void finish_to_brick(mesh::Grid3D<double>& brick);
+
+  /// Seconds spent blocked waiting for messages since the last call.
+  double take_wait() {
+    const double w = wait_s_;
+    wait_s_ = 0.0;
+    return w;
+  }
+
+ private:
+  struct Footprint {
+    int rank = 0;
+    int x0 = 0, x1 = 0;       // global x-row intersection
+    int ny = 0, nz = 0;       // transverse extents of the brick side
+    int lo1 = 0, lo2 = 0;     // that brick's global (y, z) offsets
+  };
+
+  comm::CartTopology* cart_ = nullptr;
+  const fft::ParallelFft3D* pfft_ = nullptr;
+  int tag_base_ = 0;
+  int my_so_ = 0, my_sn_ = 0;         // my slab rows
+  int my_lo_[3] = {0, 0, 0};          // my brick offsets
+  // The two directions move the same intersections in opposite senses, so
+  // two footprint lists serve both: brick_rows_ = my brick ∩ each rank's
+  // slab (sent in to-slab, received in to-brick); slab_rows_ = each
+  // rank's brick ∩ my slab (received in to-slab, sent in to-brick).
+  std::vector<Footprint> brick_rows_, slab_rows_;
+  std::vector<std::vector<double>> send_buf_;  // one per send footprint
+  std::vector<comm::Communicator::RecvHandle> pending_;
+  std::vector<double> recv_buf_;
+  std::vector<fft::cplx> slab_;
+  double wait_s_ = 0.0;
+};
+
 }  // namespace v6d::parallel

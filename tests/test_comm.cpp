@@ -209,6 +209,87 @@ TEST(Mailbox, TrimsDrainedQueues) {
   EXPECT_EQ(mailbox.queue_count(), 0u);
 }
 
+TEST(Mailbox, TryPopIsNonBlockingAndFifo) {
+  Mailbox mailbox;
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(mailbox.try_pop(0, 5, out));
+  mailbox.push(0, 5, std::vector<std::uint8_t>{7});
+  mailbox.push(0, 5, std::vector<std::uint8_t>{8});
+  ASSERT_TRUE(mailbox.try_pop(0, 5, out));
+  EXPECT_EQ(out[0], 7);
+  ASSERT_TRUE(mailbox.try_pop(0, 5, out));
+  EXPECT_EQ(out[0], 8);
+  EXPECT_FALSE(mailbox.try_pop(0, 5, out));
+  EXPECT_EQ(mailbox.queue_count(), 0u);
+}
+
+TEST(Comm, RecvHandleCompletesAfterOverlappedWork) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      // Post the receive *before* doing "interior work"; the peer's send
+      // lands while we compute, so wait() returns without blocking.
+      auto handle = comm.irecv(1, 9);
+      comm.barrier();  // peer sends before this barrier
+      double value = 0.0;
+      handle.wait_into(&value, 1);
+      EXPECT_DOUBLE_EQ(value, 3.5);
+    } else {
+      const double value = 3.5;
+      comm.send(0, 9, &value, 1);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Comm, RecvHandlesCompleteInPostOrder) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      auto first = comm.irecv(1, 4);
+      auto second = comm.irecv(1, 4);
+      EXPECT_EQ(second.wait()[0], 1);  // completion order == post order,
+      EXPECT_EQ(first.wait()[0], 2);   // regardless of wait() order
+    } else {
+      const std::uint8_t a = 1, b = 2;
+      comm.send(0, 4, &a, 1);
+      comm.send(0, 4, &b, 1);
+    }
+  });
+}
+
+TEST(Comm, RecvHandleReadyDoesNotBlock) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      auto handle = comm.irecv(1, 11);
+      EXPECT_FALSE(handle.ready());  // nothing sent yet
+      comm.barrier();
+      while (!handle.ready()) {
+      }  // arrives without this rank ever blocking
+      EXPECT_EQ(handle.wait()[0], 5);
+    } else {
+      comm.barrier();
+      const std::uint8_t v = 5;
+      comm.send(0, 11, &v, 1);
+    }
+  });
+}
+
+TEST(Comm, ThrowingRankWakesPeerBlockedInHandleWait) {
+  // The async-handle abort regression: a rank dying mid-overlap (between a
+  // peer's irecv and its wait) must wake the waiter, and the original
+  // error must surface instead of a hang or AbortedError.
+  try {
+    run(2, [&](Communicator& comm) {
+      if (comm.rank() == 1) throw std::runtime_error("rank 1 died mid-overlap");
+      auto handle = comm.irecv(1, 77);  // never satisfied
+      handle.wait();
+      FAIL() << "wait() on a dead rank's message must not return";
+    });
+    FAIL() << "run() must rethrow the rank error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 1 died mid-overlap");
+  }
+}
+
 TEST(Comm, RunCollectGathersValues) {
   const auto values =
       run_collect(4, [](Communicator& comm) { return comm.rank() * 2.5; });

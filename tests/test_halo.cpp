@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "comm/runner.hpp"
 #include "mesh/decomposition.hpp"
 #include "mesh/halo.hpp"
+#include "mesh/halo_plan.hpp"
 
 namespace {
 
@@ -270,6 +272,175 @@ TEST(HaloValidation, FoldAcrossThinUndecomposedAxesAccumulatesOnce) {
     // Conservation: nothing deposited is lost or duplicated.
     const double total = comm.allreduce_sum(grid.sum_interior());
     EXPECT_DOUBLE_EQ(total, 2.0 * deposited);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Split (overlapped) exchange plans
+// ---------------------------------------------------------------------------
+
+TEST(HaloPlan, AxisRangesMatchDecomposition) {
+  comm::run(4, [&](comm::Communicator& comm) {
+    comm::CartTopology cart(comm, {2, 2, 1});
+    mesh::BrickDecomposition dec({8, 8, 8}, cart.dims(), cart.coords());
+    vlasov::PhaseSpaceDims dims;
+    dims.nx = dec.local_n(0);  // 4
+    dims.ny = dec.local_n(1);  // 4
+    dims.nz = dec.local_n(2);  // 8
+    dims.nux = dims.nuy = dims.nuz = 2;
+    mesh::HaloPlan plan(cart, dims, 900);
+
+    // x and y are decomposed; local extent 4 < 2*ghost = 6, so the split
+    // (interior/boundary) pipeline is not eligible there.
+    EXPECT_TRUE(plan.axis(0).decomposed);
+    EXPECT_FALSE(plan.axis(0).split);
+    EXPECT_TRUE(plan.axis(1).decomposed);
+    EXPECT_FALSE(plan.axis(1).split);
+    // z lives wholly on this rank.
+    EXPECT_FALSE(plan.axis(2).decomposed);
+    EXPECT_FALSE(plan.axis(2).split);
+
+    // Interior transverse extents, ascending-axis order.
+    EXPECT_EQ(plan.axis(0).n, 4);
+    EXPECT_EQ(plan.axis(0).t1n, 4);   // y
+    EXPECT_EQ(plan.axis(0).t2n, 8);   // z
+    EXPECT_EQ(plan.axis(2).t1n, 4);   // x
+    EXPECT_EQ(plan.axis(2).t2n, 4);   // y
+    // One face = ghost layers x interior transverse x velocity block.
+    EXPECT_EQ(plan.axis(0).face_floats,
+              static_cast<std::size_t>(3) * 4 * 8 * 8);
+  });
+}
+
+TEST(HaloPlan, SplitAxisExchangeFillsAxisGhosts) {
+  // begin/finish per axis must deliver exactly the ghost blocks the
+  // position sweep of that axis reads: the axis ghosts at interior
+  // transverse positions, equal to the global periodic field.
+  const int n_global = 12, nu = 2;
+  comm::run(4, [&](comm::Communicator& comm) {
+    comm::CartTopology cart(comm, {2, 2, 1});
+    mesh::BrickDecomposition dec({n_global, n_global, n_global}, cart.dims(),
+                                 cart.coords());
+    vlasov::PhaseSpaceDims dims;
+    dims.nx = dec.local_n(0);
+    dims.ny = dec.local_n(1);
+    dims.nz = dec.local_n(2);
+    dims.nux = dims.nuy = dims.nuz = nu;
+    vlasov::PhaseSpace f(dims, vlasov::PhaseSpaceGeometry{});
+    for (int i = 0; i < dims.nx; ++i)
+      for (int j = 0; j < dims.ny; ++j)
+        for (int k = 0; k < dims.nz; ++k) {
+          float* blk = f.block(i, j, k);
+          for (std::size_t v = 0; v < f.block_size(); ++v)
+            blk[v] = cell_value(dec.offset(0) + i, dec.offset(1) + j,
+                                dec.offset(2) + k, v);
+        }
+    mesh::HaloPlan plan(cart, dims, 900);
+    const int g = dims.ghost;
+    auto wrap = [&](int i) { return ((i % n_global) + n_global) % n_global; };
+    const int n_axis[3] = {dims.nx, dims.ny, dims.nz};
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_TRUE(plan.axis(axis).split || axis == 2);
+      plan.begin_axis(f, axis);
+      plan.finish_axis(f, axis);
+      for (int a = -g; a < n_axis[axis] + g; ++a) {
+        if (a >= 0 && a < n_axis[axis]) continue;  // interior untouched
+        for (int t1 = 0; t1 < plan.axis(axis).t1n; ++t1)
+          for (int t2 = 0; t2 < plan.axis(axis).t2n; ++t2) {
+            int idx[3];
+            idx[axis] = a;
+            int tpos = 0;
+            for (int t = 0; t < 3; ++t) {
+              if (t == axis) continue;
+              idx[t] = tpos == 0 ? t1 : t2;
+              ++tpos;
+            }
+            const float* blk = f.block(idx[0], idx[1], idx[2]);
+            const int gx = wrap(dec.offset(0) + idx[0]);
+            const int gy = wrap(dec.offset(1) + idx[1]);
+            const int gz = wrap(dec.offset(2) + idx[2]);
+            for (std::size_t v = 0; v < f.block_size(); ++v)
+              ASSERT_FLOAT_EQ(blk[v], cell_value(gx, gy, gz, v))
+                  << "axis " << axis << " cell " << idx[0] << "," << idx[1]
+                  << "," << idx[2];
+          }
+      }
+    }
+  });
+}
+
+TEST(HaloPlan, RejectsDecomposedAxisThinnerThanGhost) {
+  EXPECT_THROW(
+      comm::run(4,
+                [&](comm::Communicator& comm) {
+                  comm::CartTopology cart(comm, {4, 1, 1});
+                  vlasov::PhaseSpaceDims dims;
+                  dims.nx = 1;  // < ghost 3 on a decomposed axis
+                  dims.ny = dims.nz = 4;
+                  dims.nux = dims.nuy = dims.nuz = 2;
+                  mesh::HaloPlan plan(cart, dims, 900);
+                }),
+      std::invalid_argument);
+}
+
+TEST(GridFoldPlan, SplitFoldIsBitIdenticalToBlockingFold) {
+  // Same deposits, two fold paths: begin/finish (with arbitrary local
+  // work between) must reproduce fold_grid_halo exactly — same summation
+  // order, so bit-for-bit equality, not just tolerance.
+  const int n_global = 8;
+  for (int p : {1, 2, 4, 8}) {
+    comm::run(p, [&](comm::Communicator& comm) {
+      comm::CartTopology cart(comm, comm::CartTopology::choose_dims(p));
+      mesh::BrickDecomposition dec({n_global, n_global, n_global},
+                                   cart.dims(), cart.coords());
+      mesh::Grid3D<double> blocking(dec.local_n(0), dec.local_n(1),
+                                    dec.local_n(2), 2);
+      for (int i = -2; i < blocking.nx() + 2; ++i)
+        for (int j = -2; j < blocking.ny() + 2; ++j)
+          for (int k = -2; k < blocking.nz() + 2; ++k)
+            blocking.at(i, j, k) =
+                0.1 * comm.rank() + 1e-3 * i + 7e-5 * j + 3e-6 * k + 1.0;
+      mesh::Grid3D<double> split = blocking;
+
+      mesh::fold_grid_halo(blocking, cart);
+
+      mesh::GridFoldPlan plan(cart, 940);
+      plan.begin(split);
+      double sink = 0.0;  // "interior work" between the halves
+      for (int w = 0; w < 100; ++w) sink += std::sqrt(1.0 + w);
+      plan.finish(split);
+      ASSERT_GT(sink, 0.0);
+
+      for (int i = -2; i < blocking.nx() + 2; ++i)
+        for (int j = -2; j < blocking.ny() + 2; ++j)
+          for (int k = -2; k < blocking.nz() + 2; ++k)
+            ASSERT_EQ(split.at(i, j, k), blocking.at(i, j, k))
+                << p << " ranks, cell " << i << " " << j << " " << k;
+    });
+  }
+}
+
+TEST(GridFoldPlan, ThinUndecomposedAxesMatchBlockingFold) {
+  // The quasi-1D two_stream shape: y/z wrap multiple times locally.
+  const int nx = 8, thin = 2;
+  comm::run(2, [&](comm::Communicator& comm) {
+    comm::CartTopology cart(comm, {2, 1, 1});
+    mesh::BrickDecomposition dec({nx, thin, thin}, cart.dims(),
+                                 cart.coords());
+    mesh::Grid3D<double> blocking(dec.local_n(0), thin, thin, 2);
+    for (int i = -2; i < blocking.nx() + 2; ++i)
+      for (int j = -2; j < thin + 2; ++j)
+        for (int k = -2; k < thin + 2; ++k)
+          blocking.at(i, j, k) = 1.0 + 0.01 * i + 0.1 * j + 0.3 * k;
+    mesh::Grid3D<double> split = blocking;
+    mesh::fold_grid_halo(blocking, cart);
+    mesh::GridFoldPlan plan(cart, 940);
+    plan.begin(split);
+    plan.finish(split);
+    for (int i = -2; i < blocking.nx() + 2; ++i)
+      for (int j = -2; j < thin + 2; ++j)
+        for (int k = -2; k < thin + 2; ++k)
+          ASSERT_EQ(split.at(i, j, k), blocking.at(i, j, k));
   });
 }
 

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "gravity/poisson.hpp"
 #include "mesh/decomposition.hpp"
 #include "mesh/halo.hpp"
+#include "mesh/halo_plan.hpp"
 #include "parallel/decomp_plan.hpp"
 #include "parallel/distributed_solver.hpp"
 #include "parallel/field_exchange.hpp"
@@ -311,6 +314,122 @@ TEST(DistributedConservation, PositionSweepsConserveMassAcrossRanks) {
       // a few 1e-10 relative; decomposition must not add to it.
       EXPECT_NEAR(m1, m0, 1e-9 * m0) << p << " ranks";
     });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Overlapped vs synchronous stepping (exact equality)
+// ---------------------------------------------------------------------------
+
+// Force the interior/boundary sweep split on (its auto heuristic backs
+// off to lean blocking exchanges on single-hardware-thread hosts), so
+// these tests always exercise the full overlap pipeline.
+struct ScopedSplitOn {
+  ScopedSplitOn() { setenv("V6D_OVERLAP_SPLIT", "on", 1); }
+  ~ScopedSplitOn() { unsetenv("V6D_OVERLAP_SPLIT"); }
+};
+
+// The overlapped pipeline restructures *when* communication happens, never
+// what is computed: every stage performs the same floating-point
+// operations in the same order.  So overlap=on must match overlap=off bit
+// for bit — EXPECT_EQ on doubles, not a tolerance.
+void expect_runs_bit_identical(const RunOutcome& a, const RunOutcome& b) {
+  EXPECT_EQ(a.mass_before, b.mass_before);
+  EXPECT_EQ(a.mass_after, b.mass_after);
+  for (int i = 0; i < a.density.nx(); ++i)
+    for (int j = 0; j < a.density.ny(); ++j)
+      for (int k = 0; k < a.density.nz(); ++k)
+        ASSERT_EQ(a.density.at(i, j, k), b.density.at(i, j, k))
+            << "density cell " << i << " " << j << " " << k;
+  ASSERT_EQ(a.particles.size(), b.particles.size());
+  for (std::size_t i = 0; i < a.particles.size(); ++i) {
+    ASSERT_EQ(a.particles.x[i], b.particles.x[i]) << "particle " << i;
+    ASSERT_EQ(a.particles.y[i], b.particles.y[i]) << "particle " << i;
+    ASSERT_EQ(a.particles.z[i], b.particles.z[i]) << "particle " << i;
+    ASSERT_EQ(a.particles.ux[i], b.particles.ux[i]) << "particle " << i;
+    ASSERT_EQ(a.particles.uy[i], b.particles.uy[i]) << "particle " << i;
+    ASSERT_EQ(a.particles.uz[i], b.particles.uz[i]) << "particle " << i;
+  }
+}
+
+TEST_P(DistributedRanks, OverlapBitIdenticalVlasovOnly) {
+  ScopedSplitOn split_on;
+  const int p = GetParam();
+  auto sync_cfg = make_cfg("vlasov_only", {{"nx", "8"},
+                                           {"nu", "6"},
+                                           {"max_steps", "2"},
+                                           {"seed", "11"},
+                                           {"checkpoint_dir", ""}});
+  sync_cfg.ranks = p;
+  sync_cfg.overlap = false;
+  auto overlap_cfg = sync_cfg;
+  overlap_cfg.overlap = true;
+  expect_runs_bit_identical(run_scenario(sync_cfg),
+                            run_scenario(overlap_cfg));
+}
+
+TEST_P(DistributedRanks, OverlapBitIdenticalNeutrinoBox) {
+  ScopedSplitOn split_on;
+  const int p = GetParam();
+  auto sync_cfg = make_cfg("neutrino_box", {{"nx", "8"},
+                                            {"nu", "6"},
+                                            {"np", "8"},
+                                            {"max_steps", "2"},
+                                            {"seed", "7"},
+                                            {"checkpoint_dir", ""}});
+  sync_cfg.ranks = p;
+  sync_cfg.overlap = false;
+  auto overlap_cfg = sync_cfg;
+  overlap_cfg.overlap = true;
+  expect_runs_bit_identical(run_scenario(sync_cfg),
+                            run_scenario(overlap_cfg));
+}
+
+TEST(DistributedOverlap, BitIdenticalAcrossThinTwoStreamAxes) {
+  ScopedSplitOn split_on;
+  // ny = nz = 2 < 2*ghost: the overlapped drift must fall back to the
+  // blocking full-line path on the thin (undecomposed, wrap-filled) axes
+  // while still splitting the decomposed x axis — and stay bit-identical.
+  auto sync_cfg = make_cfg("two_stream", {{"nx", "16"},
+                                          {"nu", "8"},
+                                          {"max_steps", "3"},
+                                          {"checkpoint_dir", ""}});
+  sync_cfg.ranks = 4;
+  sync_cfg.overlap = false;
+  auto overlap_cfg = sync_cfg;
+  overlap_cfg.overlap = true;
+  expect_runs_bit_identical(run_scenario(sync_cfg),
+                            run_scenario(overlap_cfg));
+}
+
+TEST(DistributedOverlap, AbortMidOverlapWakesPeers) {
+  // A rank dying between begin and finish of an overlapped exchange must
+  // wake peers blocked on its never-coming faces, and the original error
+  // must surface (the overlap pipeline's variant of the PR-4 abort fix).
+  try {
+    comm::run(2, [&](comm::Communicator& comm) {
+      comm::CartTopology cart(comm, {2, 1, 1});
+      vlasov::PhaseSpaceDims dims;
+      dims.nx = 8;
+      dims.ny = dims.nz = 8;
+      dims.nux = dims.nuy = dims.nuz = 2;
+      vlasov::PhaseSpace f(dims, vlasov::PhaseSpaceGeometry{});
+      mesh::HaloPlan plan(cart, dims, 960);
+      if (comm.rank() == 0) {
+        plan.begin_axis(f, 0);
+        throw std::runtime_error("rank 0 died mid-overlap");
+      }
+      // Rank 1's first round completes (rank 0's faces were sent), but the
+      // second round blocks on faces rank 0 never posts.
+      plan.begin_axis(f, 0);
+      plan.finish_axis(f, 0);
+      plan.begin_axis(f, 0);
+      plan.finish_axis(f, 0);
+      FAIL() << "finish_axis against a dead rank must not return";
+    });
+    FAIL() << "run() must rethrow the rank error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 0 died mid-overlap");
   }
 }
 

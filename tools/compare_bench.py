@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Diff two v6d-perf/1 BENCH_*.json files and fail on metric regressions.
+
+Stdlib only (CI runs it without installing anything):
+
+    python3 tools/compare_bench.py baseline.json current.json \
+        --metric fused_sweep_speedup:40:higher \
+        --metric halo_overlap_efficiency_ranks_8:25:lower
+
+Each --metric takes  name[:max_regress_pct[:direction]] :
+
+  * name            exact metric name in the files' "metrics" arrays
+  * max_regress_pct allowed regression in percent (default 25)
+  * direction       'higher' = bigger is better (speedups, scaling
+                    efficiencies), 'lower' = smaller is better (seconds,
+                    exposed waits).  Defaults to 'lower' when the baseline
+                    metric's unit is "s" or its name marks an exposed-cost
+                    ratio ("overlap_efficiency", "exposed", "wait"), else
+                    'higher'.  Pass the direction explicitly for anything
+                    gating CI.
+
+A metric present in the baseline but missing from the current file is a
+failure (a silently dropped metric would otherwise hide a regression
+forever); extra metrics in the current file are reported as "new".  With
+no --metric arguments every metric common to both files is compared at the
+default threshold.
+
+Exit status 0 when nothing regressed beyond its threshold, 1 otherwise.
+Timing noise on shared CI hardware is real: thresholds are per-metric so
+stable ratios (speedups) can be held tighter than raw seconds.
+"""
+import argparse
+import json
+import sys
+
+SCHEMA = "v6d-perf/1"
+
+
+def load_metrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"FAIL {path}: unreadable or invalid JSON: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"FAIL {path}: schema is {doc.get('schema')!r}, "
+                 f"expected {SCHEMA!r}")
+    metrics = {}
+    for m in doc.get("metrics", []):
+        if isinstance(m, dict) and isinstance(m.get("name"), str):
+            metrics[m["name"]] = m
+    return metrics
+
+
+def parse_spec(spec, default_pct):
+    parts = spec.split(":")
+    name = parts[0]
+    pct = float(parts[1]) if len(parts) > 1 and parts[1] else default_pct
+    direction = parts[2] if len(parts) > 2 and parts[2] else None
+    if direction not in (None, "higher", "lower"):
+        sys.exit(f"FAIL: bad direction {direction!r} in --metric {spec!r}")
+    return name, pct, direction
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--metric", action="append", default=[],
+                    help="name[:max_regress_pct[:higher|lower]]; repeatable")
+    ap.add_argument("--default-pct", type=float, default=25.0,
+                    help="threshold used when a spec omits one (default 25)")
+    args = ap.parse_args()
+
+    base = load_metrics(args.baseline)
+    cur = load_metrics(args.current)
+
+    if args.metric:
+        specs = [parse_spec(s, args.default_pct) for s in args.metric]
+    else:
+        specs = [(name, args.default_pct, None) for name in sorted(base)]
+
+    ok = True
+    for name, pct, direction in specs:
+        if name not in base:
+            print(f"FAIL {name}: not in baseline {args.baseline}")
+            ok = False
+            continue
+        if name not in cur:
+            print(f"FAIL {name}: present in baseline but missing from "
+                  f"{args.current}")
+            ok = False
+            continue
+        b, c = base[name], cur[name]
+        bv, cv = b.get("value"), c.get("value")
+        if not isinstance(bv, (int, float)) or not isinstance(cv, (int, float)):
+            print(f"FAIL {name}: non-numeric value ({bv!r} vs {cv!r})")
+            ok = False
+            continue
+        if direction is None:
+            lower_marks = ("overlap_efficiency", "exposed", "wait")
+            is_cost = (b.get("unit") == "s" or
+                       any(mark in name for mark in lower_marks))
+            direction = "lower" if is_cost else "higher"
+        if bv == 0:
+            # A zero baseline carries no relative-change signal (e.g. a
+            # pipeline stage that was disengaged on the baseline host);
+            # report it instead of manufacturing an infinite regression.
+            print(f"n/a  {name}: baseline 0 -> {cv:.6g} "
+                  f"(no relative signal, not gated)")
+            continue
+        change_pct = (cv - bv) / abs(bv) * 100.0
+        regress_pct = -change_pct if direction == "higher" else change_pct
+        status = "FAIL" if regress_pct > pct else "ok  "
+        arrow = "better" if regress_pct < 0 else "worse"
+        print(f"{status} {name}: {bv:.6g} -> {cv:.6g} "
+              f"({abs(regress_pct):.1f}% {arrow}, {direction} is better, "
+              f"limit {pct:.0f}%)")
+        if regress_pct > pct:
+            ok = False
+
+    for name in sorted(set(cur) - set(base)):
+        print(f"new  {name}: {cur[name].get('value'):.6g} (not in baseline)")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
