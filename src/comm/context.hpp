@@ -15,6 +15,13 @@ namespace v6d::comm {
 /// usable an unbounded number of times).  Supports abort(): every current
 /// and future waiter throws AbortedError instead of blocking on ranks
 /// that will never arrive.
+///
+/// All barrier state (generation counter, waiter count, aborted flag) is
+/// guarded by one mutex; the mutex's release/acquire edges are what order
+/// pre-barrier writes of one rank before post-barrier reads of another
+/// (the collectives' staged pointers rely on exactly this).  abort() sets
+/// the flag under the same mutex, so a waiter's predicate re-check cannot
+/// miss it.
 class Barrier {
  public:
   explicit Barrier(int count) : count_(count), waiting_(0), generation_(0) {}
@@ -74,11 +81,27 @@ class Context {
   /// comm::run when a rank's body throws, so peers cannot hang forever on
   /// messages or barrier arrivals that will never come.  Idempotent; the
   /// context is unusable afterwards.
+  ///
+  /// Memory-order contract (see also mailbox.hpp):
+  ///  * The flag flips exactly once; the release half of the acq_rel
+  ///    exchange publishes everything the aborting rank wrote before it
+  ///    died to any rank that *observes the flag* (the acquire loads in
+  ///    Mailbox::pop/try_pop and aborted() below).
+  ///  * Visibility alone cannot wake a rank already parked in a condition
+  ///    wait, so abort() additionally round-trips each waiter's mutex
+  ///    (Barrier::abort takes the barrier mutex; Mailbox::notify_abort
+  ///    takes the mailbox mutex before notifying).  That lock/unlock
+  ///    pairs with the predicate re-check under the same mutex, closing
+  ///    the set-flag / park-waiter race: a waiter either sees the flag in
+  ///    its predicate or is woken by the notify that follows the lock.
+  ///  * abort() is noexcept and safe to call from any rank thread,
+  ///    concurrently with every other context operation.
   void abort() noexcept {
     if (aborted_.exchange(true, std::memory_order_acq_rel)) return;
     barrier_.abort();
     for (auto& mailbox : mailboxes_) mailbox.notify_abort();
   }
+  /// Acquire load: pairs with the release half of abort()'s exchange.
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
   /// Pointer staging area used by the collectives: every rank publishes a

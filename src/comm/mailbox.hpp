@@ -9,6 +9,21 @@
 // Context): when a peer rank dies, every waiter is woken and throws
 // AbortedError instead of blocking forever on a message that will never
 // arrive.
+//
+// Memory-order contract for the abort flag (owned by Context::abort):
+//  * The flag is written once, with release semantics; pop/try_pop read
+//    it with acquire loads, so a rank that throws AbortedError also sees
+//    every write the aborting rank made before dying.
+//  * The acquire load alone is only the *visibility* half.  The *wakeup*
+//    half is notify_abort(): it acquires and releases the mailbox mutex
+//    before notifying, which orders the flag write before any waiter's
+//    next predicate evaluation (predicates run under that mutex).  A
+//    waiter therefore either observes the flag when it re-checks, or has
+//    not yet parked and will observe it on first check — the flag cannot
+//    be set "between" a final predicate check and the park.
+//  * Queued messages outrank the abort: a pop whose message is already
+//    buffered returns it even after abort, so completed exchanges drain
+//    deterministically during unwind.
 #pragma once
 
 #include <atomic>

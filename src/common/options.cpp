@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <climits>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -52,13 +53,25 @@ std::string Options::get(const std::string& key, const std::string& def) const {
 }
 
 int Options::get_int(const std::string& key, int def) const {
+  // strtol, not atoi: atoi has undefined behaviour on out-of-range text
+  // and cannot distinguish "0" from garbage.  Unparseable values fall
+  // back to the default instead of silently becoming zero.
   const std::string v = get(key, "");
-  return v.empty() ? def : std::atoi(v.c_str());
+  if (v.empty()) return def;
+  char* end = nullptr;
+  const long parsed = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str()) return def;
+  if (parsed < INT_MIN) return INT_MIN;
+  if (parsed > INT_MAX) return INT_MAX;
+  return static_cast<int>(parsed);
 }
 
 double Options::get_double(const std::string& key, double def) const {
   const std::string v = get(key, "");
-  return v.empty() ? def : std::atof(v.c_str());
+  if (v.empty()) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  return end == v.c_str() ? def : parsed;
 }
 
 bool Options::get_bool(const std::string& key, bool def) const {

@@ -21,6 +21,9 @@ class Options {
   /// Value lookup order: command line, then environment variable
   /// `V6D_<KEY>` (upper-cased), then the supplied default.
   std::string get(const std::string& key, const std::string& def) const;
+  /// Checked numeric reads (strtol/strtod, not atoi): values with no
+  /// numeric prefix fall back to `def`; out-of-range ints saturate to
+  /// INT_MIN/INT_MAX instead of invoking undefined behaviour.
   int get_int(const std::string& key, int def) const;
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;

@@ -42,12 +42,17 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+// fwrite/fread declare their buffer nonnull; an empty std::vector's
+// data() may be nullptr, so a zero-count transfer must short-circuit
+// before the call (UBSan: "null pointer passed as argument 1").
 template <class T>
 bool write_raw(std::FILE* fp, const T* data, std::size_t count) {
+  if (count == 0) return true;
   return std::fwrite(data, sizeof(T), count, fp) == count;
 }
 template <class T>
 bool read_raw(std::FILE* fp, T* data, std::size_t count) {
+  if (count == 0) return true;
   return std::fread(data, sizeof(T), count, fp) == count;
 }
 

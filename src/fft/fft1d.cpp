@@ -21,9 +21,12 @@ std::vector<int> factorize(int n) {
 }
 
 int next_pow2(int n) {
-  int p = 1;
+  // Widen before doubling: for n just above 2^30 the signed `p *= 2`
+  // would overflow (undefined behaviour) one step before the loop exits.
+  long long p = 1;
   while (p < n) p *= 2;
-  return p;
+  assert(p <= (1LL << 30) && "transform length out of supported range");
+  return static_cast<int>(p);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace v6d::mesh {
 
@@ -49,6 +50,20 @@ inline AxisWeights axis_weights(double xc, Assignment assignment) {
   return aw;
 }
 
+// Wrap a position (in cell units) into [0, n).  Two hazards beyond the
+// plain fmod: rounding in `c - n*floor(c/n)` can land exactly on n for
+// tiny negative inputs (fold it back), and a non-finite position would
+// make the later float->int casts undefined behaviour (UBSan:
+// float-cast-overflow) instead of a diagnosable error — so reject it
+// here, at the first point the particle state is interpreted.
+inline double wrap_cells(double c, int n) {
+  if (!std::isfinite(c))
+    throw std::domain_error("mesh: non-finite particle position");
+  c -= n * std::floor(c / n);
+  if (c >= n) c -= n;
+  return c;
+}
+
 }  // namespace
 
 void deposit(Grid3D<double>& rho, const MeshPatch& patch,
@@ -63,12 +78,9 @@ void deposit(Grid3D<double>& rho, const MeshPatch& patch,
 
   for (std::size_t p = 0; p < x.size(); ++p) {
     // Position in cell units, wrapped into [0, n).
-    double cx = x[p] * inv_h;
-    double cy = y[p] * inv_h;
-    double cz = z[p] * inv_h;
-    cx -= n * std::floor(cx / n);
-    cy -= n * std::floor(cy / n);
-    cz -= n * std::floor(cz / n);
+    const double cx = wrap_cells(x[p] * inv_h, n);
+    const double cy = wrap_cells(y[p] * inv_h, n);
+    const double cz = wrap_cells(z[p] * inv_h, n);
 
     const AxisWeights ax = axis_weights(cx, assignment);
     const AxisWeights ay = axis_weights(cy, assignment);
@@ -105,10 +117,9 @@ double interpolate(const Grid3D<double>& field, const MeshPatch& patch,
                    double x, double y, double z, Assignment assignment) {
   const double inv_h = 1.0 / patch.h();
   const int n = patch.n_global;
-  double cx = x * inv_h, cy = y * inv_h, cz = z * inv_h;
-  cx -= n * std::floor(cx / n);
-  cy -= n * std::floor(cy / n);
-  cz -= n * std::floor(cz / n);
+  const double cx = wrap_cells(x * inv_h, n);
+  const double cy = wrap_cells(y * inv_h, n);
+  const double cz = wrap_cells(z * inv_h, n);
 
   const AxisWeights ax = axis_weights(cx, assignment);
   const AxisWeights ay = axis_weights(cy, assignment);

@@ -32,10 +32,12 @@ struct Pack {
   using value_type = T;
   static constexpr int width = N;
 
-  typedef T Native __attribute__((vector_size(N * sizeof(T))));
+  // `using` cannot carry vector_size on a dependent type (GCC rejects it
+  // inside class templates); the typedef spelling is required here.
+  typedef T Native __attribute__((vector_size(N * sizeof(T))));  // NOLINT(modernize-use-using)
   // Same-width integer vector used as a comparison mask.
   using MaskInt = std::conditional_t<sizeof(T) == 4, std::int32_t, std::int64_t>;
-  typedef MaskInt Mask __attribute__((vector_size(N * sizeof(T))));
+  typedef MaskInt Mask __attribute__((vector_size(N * sizeof(T))));  // NOLINT(modernize-use-using)
 
   Native v;
 

@@ -1,0 +1,451 @@
+// Randomized concurrency stress for the comm/overlap layer.
+//
+// These suites exist to give ThreadSanitizer (the `tsan` preset) real
+// scheduling pressure: message storms across many (source, tag) queues,
+// barrier/collective churn, aborts landing mid-overlap, and all three
+// overlap plans (HaloPlan / GridFoldPlan / SlabExchange) in flight on one
+// communicator with their finishes interleaved in random order.  Every
+// test is seeded (Xoshiro256) so a failing schedule's *workload* is
+// reproducible, and every test also asserts functional correctness, so
+// the suites are meaningful under the default presets too.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/cart.hpp"
+#include "comm/communicator.hpp"
+#include "comm/runner.hpp"
+#include "common/rng.hpp"
+#include "fft/parallel_fft.hpp"
+#include "mesh/decomposition.hpp"
+#include "mesh/grid.hpp"
+#include "mesh/halo.hpp"
+#include "mesh/halo_plan.hpp"
+#include "parallel/field_exchange.hpp"
+#include "vlasov/phase_space.hpp"
+
+namespace {
+
+using namespace v6d;
+using namespace v6d::comm;
+
+// Deterministic payload byte: every (sender, sequence, offset) triple maps
+// to one value, so a receiver can verify content without side channels.
+std::uint8_t storm_byte(int src, int seq, std::size_t i) {
+  return static_cast<std::uint8_t>(
+      hash_mix(static_cast<std::uint64_t>(src) * 1000003u +
+               static_cast<std::uint64_t>(seq)) +
+      i);
+}
+
+std::size_t storm_size(int src, int dst, int seq) {
+  // 1..256 bytes; varies enough to churn allocation in the mailbox deques.
+  return 1 + (hash_mix(static_cast<std::uint64_t>(src) * 7919u + dst * 31u +
+                       static_cast<std::uint64_t>(seq)) &
+              0xff);
+}
+
+class CommStressRanks : public ::testing::TestWithParam<int> {};
+
+// Every rank floods every peer with tagged messages while draining its own
+// mailbox through a randomized mix of blocking pop and try_pop spinning.
+// FIFO-per-(source, tag) is asserted on the payload contents.
+TEST_P(CommStressRanks, MailboxMessageStorm) {
+  const int p = GetParam();
+  constexpr int kMessages = 96;  // per (sender, receiver) pair
+  constexpr int kTags = 3;
+  run(p, [&](Communicator& comm) {
+    const int me = comm.rank();
+    Xoshiro256 rng(0x57011u + static_cast<std::uint64_t>(me));
+
+    // Send all traffic first (sends are buffered and never block), in a
+    // per-rank random destination order so queue insertion interleaves.
+    std::vector<int> order;
+    for (int d = 0; d < p; ++d)
+      for (int s = 0; s < kMessages; ++s) order.push_back(d);
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.next_u64() % i]);
+    std::vector<int> seq(static_cast<std::size_t>(p), 0);
+    for (int dst : order) {
+      const int s = seq[static_cast<std::size_t>(dst)]++;
+      std::vector<std::uint8_t> payload(storm_size(me, dst, s));
+      for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = storm_byte(me, s, i);
+      comm.send(dst, 100 + s % kTags, payload.data(), payload.size());
+    }
+
+    // Drain: per (source, tag) the sequence numbers arrive in send order.
+    // Randomly interleave sources/tags and blocking vs non-blocking pops.
+    struct Cursor {
+      int src, tag;
+      std::vector<int> pending;  // sequence numbers, in FIFO order
+      std::size_t next = 0;
+    };
+    std::vector<Cursor> cursors;
+    for (int src = 0; src < p; ++src)
+      for (int t = 0; t < kTags; ++t) {
+        Cursor c{src, 100 + t, {}, 0};
+        for (int s = t; s < kMessages; s += kTags) c.pending.push_back(s);
+        cursors.push_back(std::move(c));
+      }
+    std::size_t remaining = static_cast<std::size_t>(p) * kMessages;
+    auto& mailbox_comm = comm;
+    while (remaining > 0) {
+      Cursor& c = cursors[rng.next_u64() % cursors.size()];
+      if (c.next == c.pending.size()) continue;
+      const int s = c.pending[c.next];
+      std::vector<std::uint8_t> payload;
+      if (rng.next_u64() & 1) {
+        payload = mailbox_comm.recv_bytes(c.src, c.tag);
+      } else {
+        auto handle = mailbox_comm.irecv(c.src, c.tag);
+        while (!handle.ready()) {
+        }
+        payload = handle.wait();
+      }
+      ASSERT_EQ(payload.size(), storm_size(c.src, me, s));
+      for (std::size_t i = 0; i < payload.size(); ++i)
+        ASSERT_EQ(payload[i], storm_byte(c.src, s, i));
+      ++c.next;
+      --remaining;
+    }
+  });
+}
+
+// Barrier churn: the generation counter must strictly separate rounds even
+// when ranks arrive with skewed timing.
+TEST_P(CommStressRanks, BarrierStormSeparatesRounds) {
+  const int p = GetParam();
+  constexpr int kRounds = 200;
+  std::vector<std::atomic<int>> arrived(kRounds);
+  for (auto& a : arrived) a.store(0);
+  run(p, [&](Communicator& comm) {
+    Xoshiro256 rng(0xba221e5u + static_cast<std::uint64_t>(comm.rank()));
+    for (int r = 0; r < kRounds; ++r) {
+      // Random skew: some ranks burn a little time before arriving.
+      volatile std::uint64_t sink = 0;
+      const std::uint64_t spin = rng.next_u64() % 200;
+      for (std::uint64_t i = 0; i < spin; ++i) sink = sink + i;
+      arrived[static_cast<std::size_t>(r)].fetch_add(1);
+      comm.barrier();
+      EXPECT_EQ(arrived[static_cast<std::size_t>(r)].load(), p);
+    }
+  });
+}
+
+// Collectives interleaved with point-to-point ring traffic, many rounds.
+TEST_P(CommStressRanks, CollectivesUnderP2PTraffic) {
+  const int p = GetParam();
+  constexpr int kRounds = 50;
+  run(p, [&](Communicator& comm) {
+    const int me = comm.rank();
+    const int next = (me + 1) % p;
+    const int prev = (me + p - 1) % p;
+    for (int r = 0; r < kRounds; ++r) {
+      // Ring traffic in flight across the collective below.
+      const double token = me * 1000.0 + r;
+      comm.send(next, 500, &token, 1);
+
+      std::vector<double> acc(4);
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = me + r * 0.5 + static_cast<double>(i);
+      comm.allreduce_sum(acc.data(), acc.size());
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        double expect = 0.0;
+        for (int q = 0; q < p; ++q)
+          expect += q + r * 0.5 + static_cast<double>(i);
+        EXPECT_DOUBLE_EQ(acc[i], expect);
+      }
+
+      double got = 0.0;
+      comm.recv(prev, 500, &got, 1);
+      EXPECT_DOUBLE_EQ(got, prev * 1000.0 + r);
+      EXPECT_DOUBLE_EQ(comm.allreduce_max(static_cast<double>(me)), p - 1.0);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CommStressRanks,
+                         ::testing::Values(2, 4, 8));
+
+// A rank dies at a random point of a message storm while its peers are
+// blocked in recv / handle-wait / barrier; every schedule must surface the
+// original error (no hang, no AbortedError leaking out).
+TEST(CommStress, AbortMidStormSurfacesOriginalError) {
+  constexpr int p = 4;
+  for (std::uint64_t round = 0; round < 12; ++round) {
+    const int thrower = static_cast<int>(round % p);
+    try {
+      run(p, [&](Communicator& comm) {
+        const int me = comm.rank();
+        Xoshiro256 rng(0xabc0 + round * 131u + static_cast<std::uint64_t>(me));
+        if (me == thrower) {
+          // Emit some real traffic first so peers make partial progress.
+          const std::uint64_t ops = rng.next_u64() % 8;
+          for (std::uint64_t i = 0; i < ops; ++i) {
+            const double v = static_cast<double>(i);
+            comm.send(static_cast<int>((me + 1) % p), 700, &v, 1);
+          }
+          throw std::runtime_error("storm rank died");
+        }
+        // Peers park in different blocking primitives; whichever schedule
+        // wins, the abort must wake all of them.
+        switch (me % 3) {
+          case 0: {
+            double sink = 0.0;
+            comm.recv(thrower, 900, &sink, 1);  // never sent
+            break;
+          }
+          case 1: {
+            auto handle = comm.irecv(thrower, 901);  // never sent
+            handle.wait();
+            break;
+          }
+          default:
+            comm.barrier();  // thrower never arrives
+            break;
+        }
+        FAIL() << "blocked peers must not resume normally";
+      });
+      FAIL() << "run() must rethrow the storm error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "storm rank died");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Overlap-plan interleavings
+// ---------------------------------------------------------------------------
+
+// Encode a unique, exactly-representable float per (global cell, velocity
+// slot): ghosts filled from a neighbor must reproduce the neighbor's
+// interior values, so correctness of every interleaving is checkable from
+// global coordinates alone.
+float cell_value(int gx, int gy, int gz, std::size_t slot, int n,
+                 std::size_t block) {
+  return static_cast<float>(
+      (static_cast<std::size_t>((gx * n + gy) * n + gz)) * block + slot);
+}
+
+struct BrickSetup {
+  mesh::BrickDecomposition dec;
+  vlasov::PhaseSpaceDims dims;
+};
+
+BrickSetup make_brick(comm::CartTopology& cart, int n_global, int nu) {
+  BrickSetup s;
+  s.dec = mesh::BrickDecomposition({n_global, n_global, n_global},
+                                   cart.dims(), cart.coords());
+  s.dims.nx = s.dec.local_n(0);
+  s.dims.ny = s.dec.local_n(1);
+  s.dims.nz = s.dec.local_n(2);
+  s.dims.nux = s.dims.nuy = s.dims.nuz = nu;
+  return s;
+}
+
+void fill_brick(vlasov::PhaseSpace& f, const mesh::BrickDecomposition& dec,
+                int n_global) {
+  const auto& d = f.dims();
+  for (int i = 0; i < d.nx; ++i)
+    for (int j = 0; j < d.ny; ++j)
+      for (int k = 0; k < d.nz; ++k) {
+        float* blk = f.block(i, j, k);
+        for (std::size_t s = 0; s < f.block_size(); ++s)
+          blk[s] = cell_value(dec.offset(0) + i, dec.offset(1) + j,
+                              dec.offset(2) + k, s, n_global, f.block_size());
+      }
+}
+
+// Check one ghost face of `axis` (at interior transverse positions, which
+// is HaloPlan's contract) against the globally expected values.
+void expect_face(const vlasov::PhaseSpace& f,
+                 const mesh::BrickDecomposition& dec, int n_global, int axis,
+                 bool low_side) {
+  const auto& d = f.dims();
+  const int n[3] = {d.nx, d.ny, d.nz};
+  const int g = d.ghost;
+  // Iterate the two transverse axes explicitly (ascending order).
+  int ta = -1, tb = -1;
+  for (int t = 0; t < 3; ++t) {
+    if (t == axis) continue;
+    (ta < 0 ? ta : tb) = t;
+  }
+  for (int layer = 0; layer < g; ++layer)
+    for (int u = 0; u < n[ta]; ++u)
+      for (int v = 0; v < n[tb]; ++v) {
+        int idx[3];
+        idx[axis] = low_side ? -g + layer : n[axis] + layer;
+        idx[ta] = u;
+        idx[tb] = v;
+        int gidx[3] = {dec.offset(0) + idx[0], dec.offset(1) + idx[1],
+                       dec.offset(2) + idx[2]};
+        gidx[axis] = ((gidx[axis] % n_global) + n_global) % n_global;
+        const float* blk = f.block(idx[0], idx[1], idx[2]);
+        for (std::size_t s = 0; s < f.block_size(); ++s)
+          ASSERT_EQ(blk[s], cell_value(gidx[0], gidx[1], gidx[2], s, n_global,
+                                       f.block_size()))
+              << "axis=" << axis << " low=" << low_side << " layer=" << layer;
+      }
+}
+
+// All three overlap plans in flight at once on one communicator, finished
+// in a random order per round — the production pipeline only ever holds a
+// subset of these interleavings, so this is strictly harsher than the
+// solver path.
+TEST(CommStress, ConcurrentPlanBeginFinishInterleavings) {
+  constexpr int kRanks = 4;
+  constexpr int kGlobal = 8;  // local bricks 4x4x8 under a 2x2x1 split
+  constexpr int kNu = 2;
+  constexpr int kRounds = 6;
+  run(kRanks, [&](Communicator& comm) {
+    CartTopology cart(comm, CartTopology::choose_dims(kRanks));
+    const auto setup = make_brick(cart, kGlobal, kNu);
+
+    vlasov::PhaseSpace f(setup.dims, {});
+    mesh::HaloPlan halo(cart, setup.dims, /*tag_base=*/1000);
+
+    mesh::Grid3D<double> fold_grid(setup.dims.nx, setup.dims.ny,
+                                   setup.dims.nz, /*ghost=*/2);
+    mesh::GridFoldPlan fold(cart, /*tag_base=*/2000);
+
+    fft::ParallelFft3D pfft(comm, kGlobal);
+    mesh::BrickDecomposition mesh_dec({kGlobal, kGlobal, kGlobal},
+                                      cart.dims(), cart.coords());
+    parallel::SlabExchange slab(mesh_dec, pfft, cart, /*tag_base=*/3000);
+    mesh::Grid3D<double> slab_brick(setup.dims.nx, setup.dims.ny,
+                                    setup.dims.nz, /*ghost=*/0);
+
+    Xoshiro256 rng(0x9e1a7u + static_cast<std::uint64_t>(comm.rank()));
+    for (int round = 0; round < kRounds; ++round) {
+      fill_brick(f, setup.dec, kGlobal);
+
+      // Deterministic per-cell deposit including ghosts, so the fold
+      // reference is computable on a copy.
+      for (int i = -2; i < fold_grid.nx() + 2; ++i)
+        for (int j = -2; j < fold_grid.ny() + 2; ++j)
+          for (int k = -2; k < fold_grid.nz() + 2; ++k)
+            fold_grid.at(i, j, k) =
+                static_cast<double>(hash_mix(
+                    static_cast<std::uint64_t>(comm.rank() + 1) * 1000000u +
+                    static_cast<std::uint64_t>((i + 2) * 10000 +
+                                               (j + 2) * 100 + (k + 2)) +
+                    static_cast<std::uint64_t>(round) * 77u) %
+                    1024) /
+                16.0;
+      mesh::Grid3D<double> fold_ref = fold_grid;
+
+      for (int i = 0; i < slab_brick.nx(); ++i)
+        for (int j = 0; j < slab_brick.ny(); ++j)
+          for (int k = 0; k < slab_brick.nz(); ++k)
+            slab_brick.at(i, j, k) = static_cast<double>(cell_value(
+                mesh_dec.offset(0) + i, mesh_dec.offset(1) + j,
+                mesh_dec.offset(2) + k, 0, kGlobal, 1));
+
+      // Begin everything: three halo axes, the fold, and the slab
+      // redistribution are now simultaneously in flight.
+      for (int axis = 0; axis < 3; ++axis) halo.begin_axis(f, axis);
+      fold.begin(fold_grid);
+      slab.begin_to_slab(slab_brick);
+
+      // Finish in a random order (per rank, per round).
+      std::array<int, 5> finish_order = {0, 1, 2, 3, 4};
+      for (std::size_t i = finish_order.size(); i > 1; --i)
+        std::swap(finish_order[i - 1],
+                  finish_order[static_cast<std::size_t>(rng.next_u64() % i)]);
+      std::vector<fft::cplx>* slab_data = nullptr;
+      for (int what : finish_order) {
+        if (what < 3) {
+          halo.finish_axis(f, what);
+        } else if (what == 3) {
+          fold.finish(fold_grid);
+        } else {
+          slab_data = &slab.finish_to_slab();
+        }
+      }
+
+      // Halo ghosts must equal the periodic neighbors' interior values.
+      for (int axis = 0; axis < 3; ++axis) {
+        expect_face(f, setup.dec, kGlobal, axis, /*low_side=*/true);
+        expect_face(f, setup.dec, kGlobal, axis, /*low_side=*/false);
+      }
+
+      // Fold must match the blocking reference (bit-identical contract).
+      comm.barrier();  // separate plan traffic from the blocking reference
+      mesh::fold_grid_halo(fold_ref, cart);
+      for (int i = 0; i < fold_grid.nx(); ++i)
+        for (int j = 0; j < fold_grid.ny(); ++j)
+          for (int k = 0; k < fold_grid.nz(); ++k)
+            ASSERT_EQ(fold_grid.at(i, j, k), fold_ref.at(i, j, k));
+
+      // Slab rows must hold the global field; round-trip restores bricks.
+      ASSERT_NE(slab_data, nullptr);
+      for (int x = 0; x < pfft.local_nx(); ++x)
+        for (int y = 0; y < kGlobal; ++y)
+          for (int z = 0; z < kGlobal; ++z) {
+            const auto& c =
+                (*slab_data)[(static_cast<std::size_t>(x) * kGlobal + y) *
+                                 kGlobal +
+                             z];
+            ASSERT_EQ(c.real(), static_cast<double>(cell_value(
+                                    pfft.x_offset() + x, y, z, 0, kGlobal, 1)));
+            ASSERT_EQ(c.imag(), 0.0);
+          }
+      slab.begin_to_brick(*slab_data);
+      mesh::Grid3D<double> back(slab_brick.nx(), slab_brick.ny(),
+                                slab_brick.nz(), 0);
+      slab.finish_to_brick(back);
+      for (int i = 0; i < back.nx(); ++i)
+        for (int j = 0; j < back.ny(); ++j)
+          for (int k = 0; k < back.nz(); ++k)
+            ASSERT_EQ(back.at(i, j, k), slab_brick.at(i, j, k));
+
+      comm.barrier();
+    }
+  });
+}
+
+// Abort landing while overlap plans are in flight: peers are waiting in
+// finish_axis / finish_to_slab handle waits, not plain recv, which is the
+// exact hang the PR-5 completion-handle abort path exists to prevent.
+TEST(CommStress, AbortMidPlanOverlapWakesFinishers) {
+  constexpr int kRanks = 4;
+  constexpr int kGlobal = 8;
+  constexpr int kNu = 2;
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    const int thrower = static_cast<int>(round % kRanks);
+    try {
+      run(kRanks, [&](Communicator& comm) {
+        CartTopology cart(comm, CartTopology::choose_dims(kRanks));
+        const auto setup = make_brick(cart, kGlobal, kNu);
+        vlasov::PhaseSpace f(setup.dims, {});
+        mesh::HaloPlan halo(cart, setup.dims, 1000);
+        fill_brick(f, setup.dec, kGlobal);
+
+        if (comm.rank() == thrower)
+          throw std::runtime_error("overlap rank died");
+
+        // begin_axis's sends are buffered so they complete even with a
+        // dead peer.  The thrower's cart-neighbors then block in
+        // finish_axis handle waits on its never-sent faces and must be
+        // woken with AbortedError; ranks that are not neighbors of the
+        // dead rank legitimately finish (their faces all arrived) and
+        // park in the barrier the thrower can never join.
+        for (int axis = 0; axis < 3; ++axis) halo.begin_axis(f, axis);
+        for (int axis = 0; axis < 3; ++axis) halo.finish_axis(f, axis);
+        comm.barrier();
+        FAIL() << "no rank may get past the dead rank's barrier";
+      });
+      FAIL() << "run() must rethrow the overlap error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "overlap rank died");
+    }
+  }
+}
+
+}  // namespace

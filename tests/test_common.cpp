@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <climits>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -125,6 +126,21 @@ TEST(Options, ParsesKeyValueAndDefaults) {
   EXPECT_EQ(opt.get_int("missing", 7), 7);
   EXPECT_TRUE(opt.has("grid"));
   EXPECT_FALSE(opt.has("nothere"));
+}
+
+TEST(Options, NumericParsingIsCheckedNotAtoi) {
+  const char* argv[] = {"prog", "junk=abc", "huge=99999999999999999999",
+                        "neg=-99999999999999999999", "dbl=nonsense",
+                        "mixed=12cells"};
+  Options opt(6, const_cast<char**>(argv));
+  // Unparseable text falls back to the default instead of atoi's silent 0.
+  EXPECT_EQ(opt.get_int("junk", 7), 7);
+  EXPECT_EQ(opt.get_double("dbl", 2.5), 2.5);
+  // Out-of-range values saturate instead of invoking undefined behaviour.
+  EXPECT_EQ(opt.get_int("huge", 0), INT_MAX);
+  EXPECT_EQ(opt.get_int("neg", 0), INT_MIN);
+  // strtol semantics: a leading numeric prefix still parses.
+  EXPECT_EQ(opt.get_int("mixed", 0), 12);
 }
 
 TEST(Options, EnvironmentFallback) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "mesh/decomposition.hpp"
@@ -125,6 +127,37 @@ TEST_P(DepositKernels, InterpolationIsPartitionOfUnity) {
   for (double x : {0.0, 0.2, 1.3, 3.99})
     for (double y : {0.1, 2.5})
       EXPECT_NEAR(interpolate(field, patch, x, y, 1.7, kind), 7.0, 1e-12);
+}
+
+TEST_P(DepositKernels, RejectsNonFinitePositions) {
+  // A NaN/inf position used to reach a float->int cast (undefined
+  // behaviour); it must surface as a diagnosable error instead.
+  const Assignment kind = GetParam();
+  Grid3D<double> rho(8, 8, 8, 2);
+  MeshPatch patch;
+  patch.box = 10.0;
+  patch.n_global = 8;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> x{1.0, nan}, y{1.0, 1.0}, z{1.0, 1.0};
+  EXPECT_THROW(deposit(rho, patch, x, y, z, 1.0, kind), std::domain_error);
+  EXPECT_THROW(interpolate(rho, patch, inf, 0.0, 0.0, kind),
+               std::domain_error);
+}
+
+TEST_P(DepositKernels, TinyNegativePositionWrapsIntoBox) {
+  // -1e-18 cells wraps to n by floating rounding; the wrap must fold it
+  // back into [0, n) so mass lands on the periodic image, not past it.
+  const Assignment kind = GetParam();
+  Grid3D<double> rho(8, 8, 8, 2);
+  MeshPatch patch;
+  patch.box = 10.0;
+  patch.n_global = 8;
+  std::vector<double> x{-1e-18}, y{5.0}, z{5.0};
+  deposit(rho, patch, x, y, z, 1.0, kind);
+  rho.fold_ghosts_periodic();
+  const double h = patch.h();
+  EXPECT_NEAR(rho.sum_interior() * h * h * h, 1.0, 1e-12);
 }
 
 INSTANTIATE_TEST_SUITE_P(Kernels, DepositKernels,

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Lint: every `#pragma omp` must sit inside an `_OPENMP` preprocessor guard.
+
+    python3 tools/lint_omp_guards.py [repo-root]
+    python3 tools/lint_omp_guards.py --self-test
+
+The serial preset compiles with OpenMP off but still parses every pragma
+token; worse, GCC with `-Wunknown-pragmas` is silent about `omp` pragmas
+it was told to ignore, so an unguarded pragma builds everywhere and then
+quietly changes semantics between presets.  PR 1 fixed six such regions
+by hand (src/vlasov/{moments,position_advection,velocity_advection}.cpp);
+this lint makes the rule mechanical:
+
+    #ifdef _OPENMP
+    #pragma omp parallel for collapse(2) schedule(static)
+    #endif
+
+A pragma is accepted when any enclosing preprocessor conditional branch
+is controlled by `_OPENMP` in the positive sense — `#ifdef _OPENMP`,
+`#if defined(_OPENMP)`, the `#else` of `#ifndef _OPENMP`, or an
+`#elif defined(_OPENMP)`.  Stdlib only; exit 0 when clean, 1 otherwise.
+"""
+import os
+import re
+import sys
+import tempfile
+
+SCAN_DIRS = ("src", "apps", "bench", "tests", "examples")
+EXTENSIONS = (".cpp", ".hpp", ".h", ".cc")
+
+_PRAGMA_OMP = re.compile(r"^\s*#\s*pragma\s+omp\b")
+_COND_START = re.compile(r"^\s*#\s*(if|ifdef|ifndef)\b(.*)$")
+_COND_ELIF = re.compile(r"^\s*#\s*elif\b(.*)$")
+_COND_ELSE = re.compile(r"^\s*#\s*else\b")
+_COND_END = re.compile(r"^\s*#\s*endif\b")
+
+
+class Frame:
+    """One preprocessor conditional; tracks whether the *current* branch
+    is the positive-`_OPENMP` one."""
+
+    def __init__(self, directive, expr):
+        mentions = "_OPENMP" in expr
+        if directive == "ifdef":
+            self.positive_branches = [mentions]
+        elif directive == "ifndef":
+            # The guard is the #else branch of an #ifndef _OPENMP.
+            self.positive_branches = [False]
+            self.else_is_positive = mentions
+        else:  # if
+            self.positive_branches = [mentions and "!defined" not in expr.replace(" ", "")]
+        self.else_is_positive = getattr(self, "else_is_positive", False)
+        self.branch_positive = self.positive_branches[0]
+
+    def elif_branch(self, expr):
+        self.branch_positive = "_OPENMP" in expr
+        self.else_is_positive = False
+
+    def else_branch(self):
+        self.branch_positive = self.else_is_positive
+
+
+def lint_file(path):
+    """Return a list of (line_number, line_text) unguarded-pragma hits."""
+    violations = []
+    stack = []
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        continued = ""
+        for lineno, raw in enumerate(f, start=1):
+            line = continued + raw.rstrip("\n")
+            if line.endswith("\\"):
+                continued = line[:-1]
+                continue
+            continued = ""
+            m = _COND_START.match(line)
+            if m:
+                stack.append(Frame(m.group(1), m.group(2)))
+                continue
+            m = _COND_ELIF.match(line)
+            if m and stack:
+                stack[-1].elif_branch(m.group(1))
+                continue
+            if _COND_ELSE.match(line) and stack:
+                stack[-1].else_branch()
+                continue
+            if _COND_END.match(line):
+                if stack:
+                    stack.pop()
+                continue
+            if _PRAGMA_OMP.match(line):
+                if not any(fr.branch_positive for fr in stack):
+                    violations.append((lineno, line.strip()))
+    return violations
+
+
+def lint_tree(root):
+    failures = []
+    for sub in SCAN_DIRS:
+        base = os.path.join(root, sub)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if not name.endswith(EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                for lineno, text in lint_file(path):
+                    failures.append((os.path.relpath(path, root), lineno, text))
+    return failures
+
+
+GUARDED_FIXTURE = """\
+#ifdef _OPENMP
+#pragma omp parallel for
+#endif
+void a();
+#if defined(_OPENMP)
+#pragma omp parallel for collapse(2)
+#endif
+#ifndef _OPENMP
+void serial_only();
+#else
+#pragma omp simd
+#endif
+#if defined(OTHER)
+void other();
+#elif defined(_OPENMP)
+#pragma omp parallel
+#endif
+"""
+
+SEEDED_VIOLATIONS = """\
+#pragma omp parallel for
+#ifdef SOMETHING_ELSE
+#pragma omp simd
+#endif
+#ifdef _OPENMP
+void fine();
+#else
+#pragma omp critical
+#endif
+#ifndef _OPENMP
+#pragma omp parallel
+#endif
+"""
+
+
+def self_test():
+    with tempfile.TemporaryDirectory() as tmp:
+        os.makedirs(os.path.join(tmp, "src"))
+        clean = os.path.join(tmp, "src", "clean.cpp")
+        with open(clean, "w", encoding="utf-8") as f:
+            f.write(GUARDED_FIXTURE)
+        if lint_tree(tmp):
+            print("self-test FAIL: guarded fixture was flagged")
+            return 1
+        seeded = os.path.join(tmp, "src", "seeded.cpp")
+        with open(seeded, "w", encoding="utf-8") as f:
+            f.write(SEEDED_VIOLATIONS)
+        hits = lint_tree(tmp)
+        want_lines = {1, 3, 8, 11}
+        got_lines = {lineno for (_, lineno, _) in hits}
+        if got_lines != want_lines:
+            print(f"self-test FAIL: flagged lines {sorted(got_lines)}, "
+                  f"expected {sorted(want_lines)}")
+            return 1
+    print("self-test OK: 4 seeded violations caught, guarded fixture clean")
+    return 0
+
+
+def main(argv):
+    if len(argv) > 1 and argv[1] == "--self-test":
+        return self_test()
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    failures = lint_tree(root)
+    for relpath, lineno, text in failures:
+        print(f"FAIL {relpath}:{lineno}: unguarded OpenMP pragma: {text}")
+    if failures:
+        print(f"{len(failures)} unguarded `#pragma omp` line(s); wrap them in "
+              "`#ifdef _OPENMP` ... `#endif` (see docs/DEVELOPMENT.md)")
+        return 1
+    print("OK   no unguarded OpenMP pragmas")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Lint: every TimerRegistry bucket a bench/report *reads* must be one the
+code actually *writes*.
+
+    python3 tools/lint_timer_buckets.py [repo-root]
+    python3 tools/lint_timer_buckets.py --self-test
+
+The scaling benches and the driver's perf report query buckets by string
+name (`timers.total("halo-wait")`); a renamed producer bucket silently
+turns those metrics into zeros — `compare_bench.py` then gates CI on a
+metric that no longer measures anything.  This lint cross-references:
+
+  producers — `ScopedTimer t(reg, "name")`, `reg.add("name", s)`,
+              `reg.add_sample("name", s)` in src/
+  consumers — `reg.total("name")`, `reg.median_sample("name")`,
+              `reg.samples("name")` in src/, apps/, bench/, examples/
+
+A consumer name is also accepted with a `TimerRegistry::merge` prefix
+(e.g. `solver:vlasov` when some caller merges with prefix `"solver:"`).
+tests/ are excluded: suites produce and consume their own ad-hoc buckets.
+Stdlib only; exit 0 when every consumed bucket has a producer.
+"""
+import os
+import re
+import sys
+import tempfile
+
+PRODUCER_DIRS = ("src",)
+CONSUMER_DIRS = ("src", "apps", "bench", "examples")
+EXTENSIONS = (".cpp", ".hpp", ".h", ".cc")
+
+_PRODUCE = [
+    re.compile(r"\bScopedTimer\s+\w+\s*\(\s*[^,()]+,\s*\"([^\"]+)\""),
+    re.compile(r"\badd\s*\(\s*\"([^\"]+)\"\s*,"),
+    re.compile(r"\badd_sample\s*\(\s*\"([^\"]+)\"\s*,"),
+]
+_CONSUME = [
+    re.compile(r"\btotal\s*\(\s*\"([^\"]+)\"\s*\)"),
+    re.compile(r"\bmedian_sample\s*\(\s*\"([^\"]+)\"\s*\)"),
+    re.compile(r"\bsamples\s*\(\s*\"([^\"]+)\"\s*\)"),
+]
+_MERGE_PREFIX = re.compile(r"\bmerge\s*\(\s*[^,()]+,\s*\"([^\"]+)\"\s*\)")
+
+
+def scan(root, dirs, patterns):
+    """Return {name: [(relpath, lineno), ...]} for every pattern match."""
+    found = {}
+    for sub in dirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if not name.endswith(EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                with open(path, "r", encoding="utf-8", errors="replace") as f:
+                    for lineno, line in enumerate(f, start=1):
+                        for pat in patterns:
+                            for m in pat.finditer(line):
+                                found.setdefault(m.group(1), []).append(
+                                    (rel, lineno))
+    return found
+
+
+def lint_tree(root):
+    produced = scan(root, PRODUCER_DIRS, _PRODUCE)
+    consumed = scan(root, CONSUMER_DIRS, _CONSUME)
+    prefixes = scan(root, CONSUMER_DIRS, [_MERGE_PREFIX])
+    names = set(produced)
+    for prefix in prefixes:
+        names.update(prefix + n for n in produced)
+    failures = []
+    for name, sites in sorted(consumed.items()):
+        if name in names:
+            continue
+        for rel, lineno in sites:
+            failures.append((rel, lineno, name))
+    return failures, produced, consumed
+
+
+CLEAN_FIXTURE_SRC = """\
+void step(v6d::TimerRegistry& reg) {
+  v6d::ScopedTimer t(reg, "halo");
+  reg.add("fold-wait", 0.25);
+  reg.add_sample("step", 1.0);
+  merged.merge(reg, "solver:");
+}
+"""
+
+CLEAN_FIXTURE_BENCH = """\
+double report(const v6d::TimerRegistry& reg) {
+  return reg.total("halo") + reg.median_sample("step") +
+         reg.total("fold-wait") + reg.total("solver:halo");
+}
+"""
+
+SEEDED_VIOLATION_BENCH = """\
+double broken(const v6d::TimerRegistry& reg) {
+  return reg.total("halo-watt") + reg.median_sample("steps");
+}
+"""
+
+
+def self_test():
+    with tempfile.TemporaryDirectory() as tmp:
+        os.makedirs(os.path.join(tmp, "src"))
+        os.makedirs(os.path.join(tmp, "bench"))
+        with open(os.path.join(tmp, "src", "solver.cpp"), "w",
+                  encoding="utf-8") as f:
+            f.write(CLEAN_FIXTURE_SRC)
+        with open(os.path.join(tmp, "bench", "report.cpp"), "w",
+                  encoding="utf-8") as f:
+            f.write(CLEAN_FIXTURE_BENCH)
+        failures, _, _ = lint_tree(tmp)
+        if failures:
+            print(f"self-test FAIL: clean fixture flagged: {failures}")
+            return 1
+        with open(os.path.join(tmp, "bench", "broken.cpp"), "w",
+                  encoding="utf-8") as f:
+            f.write(SEEDED_VIOLATION_BENCH)
+        failures, _, _ = lint_tree(tmp)
+        got = {name for (_, _, name) in failures}
+        if got != {"halo-watt", "steps"}:
+            print(f"self-test FAIL: flagged {sorted(got)}, expected "
+                  "['halo-watt', 'steps']")
+            return 1
+    print("self-test OK: 2 seeded phantom buckets caught, clean fixture clean")
+    return 0
+
+
+def main(argv):
+    if len(argv) > 1 and argv[1] == "--self-test":
+        return self_test()
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    failures, produced, consumed = lint_tree(root)
+    for rel, lineno, name in failures:
+        print(f"FAIL {rel}:{lineno}: bucket \"{name}\" is read but never "
+              "written by any ScopedTimer/add/add_sample in src/")
+    if failures:
+        print(f"{len(failures)} phantom timer-bucket read(s); known buckets: "
+              + ", ".join(sorted(produced)))
+        return 1
+    print(f"OK   {len(consumed)} consumed bucket name(s) all have producers "
+          f"({len(produced)} produced)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

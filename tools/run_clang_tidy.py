@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the tree using a preset build's compile_commands.json.
+
+    python3 tools/run_clang_tidy.py [--build-dir build/release] [--require]
+                                    [--jobs N] [paths...]
+
+Every preset exports compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS
+is set unconditionally in the top-level CMakeLists), so any configured
+build dir works; the default picks the first of build/{release,debug,
+tsan,asan,serial} that has one.
+
+clang-tidy is not part of the minimal toolchain image, so by default a
+missing binary SKIPs (exit 0) with a notice — local developer machines
+without LLVM stay green.  CI passes --require, which turns a missing
+binary into a failure: the gate must actually run there.  The binary is
+resolved from $CLANG_TIDY, then PATH (clang-tidy, clang-tidy-21 ... -14).
+
+Checks and the NOLINT policy live in .clang-tidy at the repo root;
+warnings are errors (WarningsAsErrors: '*'), so any finding fails the
+gate.  Stdlib only.
+"""
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+DEFAULT_BUILD_DIRS = ("build/release", "build/debug", "build/tsan",
+                      "build/asan", "build/serial")
+SOURCE_PREFIXES = ("src/", "apps/", "bench/", "tests/", "examples/")
+VERSIONS = range(21, 13, -1)
+
+
+def find_clang_tidy():
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        return env if shutil.which(env) or os.path.exists(env) else None
+    for name in ["clang-tidy"] + [f"clang-tidy-{v}" for v in VERSIONS]:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def find_build_dir(root, requested):
+    candidates = [requested] if requested else DEFAULT_BUILD_DIRS
+    for cand in candidates:
+        path = os.path.join(root, cand)
+        if os.path.exists(os.path.join(path, "compile_commands.json")):
+            return path
+    return None
+
+
+def select_sources(root, build_dir, path_filters):
+    """Translation units from compile_commands.json that live in our tree
+    (FetchContent'd third-party TUs compile from the build dir and are
+    excluded by construction)."""
+    with open(os.path.join(build_dir, "compile_commands.json"),
+              encoding="utf-8") as f:
+        entries = json.load(f)
+    sources = []
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"])
+            if not os.path.isabs(entry["file"]) else entry["file"])
+        rel = os.path.relpath(path, root)
+        if not rel.startswith(SOURCE_PREFIXES):
+            continue
+        if path_filters and not any(rel.startswith(p) for p in path_filters):
+            continue
+        sources.append(path)
+    return sorted(set(sources))
+
+
+def run_one(args):
+    binary, build_dir, source = args
+    proc = subprocess.run(
+        [binary, "-p", build_dir, "--quiet", source],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    return source, proc.returncode, proc.stdout
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=None,
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) if clang-tidy is unavailable "
+                             "instead of skipping")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, multiprocessing.cpu_count() - 1))
+    parser.add_argument("paths", nargs="*",
+                        help="restrict to these repo-relative prefixes")
+    opts = parser.parse_args(argv[1:])
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    binary = find_clang_tidy()
+    if binary is None:
+        msg = ("clang-tidy not found (set $CLANG_TIDY or install LLVM); ")
+        if opts.require:
+            print("FAIL " + msg + "--require demands the gate actually runs")
+            return 2
+        print("SKIP " + msg + "gate passes vacuously on this machine")
+        return 0
+
+    build_dir = find_build_dir(root, opts.build_dir)
+    if build_dir is None:
+        print("FAIL no compile_commands.json under "
+              + (opts.build_dir or "/".join(DEFAULT_BUILD_DIRS))
+              + "; configure a preset first (cmake --preset release)")
+        return 2
+
+    sources = select_sources(root, build_dir, tuple(opts.paths))
+    if not sources:
+        print("FAIL compile_commands.json lists no in-tree sources")
+        return 2
+
+    print(f"running {binary} over {len(sources)} TU(s) "
+          f"[{os.path.relpath(build_dir, root)}] with {opts.jobs} job(s)")
+    failures = 0
+    with multiprocessing.Pool(opts.jobs) as pool:
+        work = [(binary, build_dir, s) for s in sources]
+        for source, code, output in pool.imap_unordered(run_one, work):
+            rel = os.path.relpath(source, root)
+            if code != 0:
+                failures += 1
+                print(f"FAIL {rel}")
+                sys.stdout.write(output)
+            elif output.strip():
+                # Zero exit but noise (e.g. suppressed-warning summary).
+                print(f"ok   {rel}")
+    if failures:
+        print(f"{failures}/{len(sources)} TU(s) failed the clang-tidy gate")
+        return 1
+    print(f"OK   {len(sources)} TU(s) clean under .clang-tidy")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
