@@ -314,7 +314,12 @@ struct DistributedStepResult {
                                   // undecomposed/thin axes, or the
                                   // V6D_OVERLAP_SPLIT heuristic)
   std::uint64_t bytes_per_rank = 0;  // all comm (halo + FFT + reductions)
-  std::array<int, 3> global{};       // global Vlasov grid used
+  // Comm-layer counters (max over ranks, per step where noted):
+  std::uint64_t msgs_per_rank = 0;        // p2p messages sent per step
+  std::uint64_t recv_bytes_per_rank = 0;  // bytes consumed from mailbox/step
+  std::uint64_t peak_queue_depth = 0;     // mailbox high-water (whole run)
+  double recv_wait_seconds = 0.0;         // blocked-in-pop seconds per step
+  std::array<int, 3> global{};            // global Vlasov grid used
 };
 
 /// Run `steps` full KDK steps of parallel::DistributedHybridSolver — halo
@@ -371,10 +376,18 @@ inline DistributedStepResult measure_distributed_step(int ranks, int local_n,
   std::vector<double> boundary_time(static_cast<std::size_t>(ranks), 0.0);
   std::vector<double> full_time(static_cast<std::size_t>(ranks), 0.0);
   std::vector<std::uint64_t> bytes(static_cast<std::size_t>(ranks), 0);
+  std::vector<std::uint64_t> msgs(static_cast<std::size_t>(ranks), 0);
+  std::vector<std::uint64_t> recv_bytes(static_cast<std::size_t>(ranks), 0);
+  std::vector<std::uint64_t> peak_depth(static_cast<std::size_t>(ranks), 0);
+  std::vector<double> recv_wait(static_cast<std::size_t>(ranks), 0.0);
 
   comm::run(ranks, [&](comm::Communicator& comm) {
     parallel::DistributedHybridSolver ds(solver, comm, dims, overlap);
     comm.reset_traffic_counters();
+    // Mailbox stats are monotonic for the context lifetime; the measured
+    // section is the delta from this snapshot (solver construction already
+    // exchanged setup messages).
+    const comm::MailboxStats recv0 = comm.recv_stats();
     comm.barrier();
     Stopwatch total;
     double a = 0.5;
@@ -403,6 +416,12 @@ inline DistributedStepResult measure_distributed_step(int ranks, int local_n,
     boundary_time[r] = ds.timers().total("sweep-boundary") / steps;
     full_time[r] = ds.timers().total("sweep-full") / steps;
     bytes[r] = comm.bytes_sent() / static_cast<std::uint64_t>(steps);
+    const comm::MailboxStats recv1 = comm.recv_stats();
+    msgs[r] = comm.messages_sent() / static_cast<std::uint64_t>(steps);
+    recv_bytes[r] = (recv1.bytes_popped - recv0.bytes_popped) /
+                    static_cast<std::uint64_t>(steps);
+    peak_depth[r] = recv1.peak_queue_depth;
+    recv_wait[r] = (recv1.pop_wait_s - recv0.pop_wait_s) / steps;
   });
 
   for (int r = 0; r < ranks; ++r) {
@@ -419,6 +438,11 @@ inline DistributedStepResult measure_distributed_step(int ranks, int local_n,
         std::max(result.boundary_seconds, boundary_time[i]);
     result.full_seconds = std::max(result.full_seconds, full_time[i]);
     result.bytes_per_rank = std::max(result.bytes_per_rank, bytes[i]);
+    result.msgs_per_rank = std::max(result.msgs_per_rank, msgs[i]);
+    result.recv_bytes_per_rank =
+        std::max(result.recv_bytes_per_rank, recv_bytes[i]);
+    result.peak_queue_depth = std::max(result.peak_queue_depth, peak_depth[i]);
+    result.recv_wait_seconds = std::max(result.recv_wait_seconds, recv_wait[i]);
   }
   return result;
 }

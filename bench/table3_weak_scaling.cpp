@@ -70,6 +70,16 @@ int main(int argc, char** argv) {
       harness.metric("sweep_boundary_s_ranks_" + tag, ovlp.boundary_seconds,
                      "s");
       harness.metric("sweep_full_s_ranks_" + tag, ovlp.full_seconds, "s");
+      // Comm-layer counters (p2p only; collectives use the staged-pointer
+      // path): messages/bytes per step and the mailbox-side view.
+      harness.metric("comm_msgs_ranks_" + tag,
+                     static_cast<double>(ovlp.msgs_per_rank));
+      harness.metric("comm_recv_bytes_ranks_" + tag,
+                     static_cast<double>(ovlp.recv_bytes_per_rank), "B");
+      harness.metric("comm_peak_queue_ranks_" + tag,
+                     static_cast<double>(ovlp.peak_queue_depth));
+      harness.metric("comm_recv_wait_s_ranks_" + tag, ovlp.recv_wait_seconds,
+                     "s");
       char grid[48];
       std::snprintf(grid, sizeof(grid), "%dx%dx%d x %d^3", ovlp.global[0],
                     ovlp.global[1], ovlp.global[2], nu);

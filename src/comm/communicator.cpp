@@ -1,5 +1,6 @@
 #include "comm/communicator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -7,7 +8,11 @@
 
 namespace v6d::comm {
 
-Communicator::Communicator(Context* ctx, int rank) : ctx_(ctx), rank_(rank) {}
+Communicator::Communicator(Context* ctx, int rank)
+    : ctx_(ctx),
+      rank_(rank),
+      bytes_to_(static_cast<std::size_t>(ctx->size()), 0),
+      msgs_to_(static_cast<std::size_t>(ctx->size()), 0) {}
 
 int Communicator::size() const { return ctx_->size(); }
 
@@ -18,6 +23,32 @@ void Communicator::send_bytes(int dest, int tag, const void* data,
   ctx_->mailbox(dest).push(rank_, tag, std::move(payload));
   bytes_sent_ += bytes;
   ++messages_sent_;
+  bytes_to_[static_cast<std::size_t>(dest)] += bytes;
+  msgs_to_[static_cast<std::size_t>(dest)] += 1;
+}
+
+std::uint64_t Communicator::bytes_sent_to(int dest) const {
+  return bytes_to_[static_cast<std::size_t>(dest)];
+}
+
+std::uint64_t Communicator::messages_sent_to(int dest) const {
+  return msgs_to_[static_cast<std::size_t>(dest)];
+}
+
+MailboxStats Communicator::recv_stats() const {
+  return ctx_->mailbox(rank_).stats();
+}
+
+std::pair<std::uint64_t, std::uint64_t> Communicator::received_from(
+    int source) const {
+  return ctx_->mailbox(rank_).received_from(source);
+}
+
+void Communicator::reset_traffic_counters() {
+  bytes_sent_ = 0;
+  messages_sent_ = 0;
+  std::fill(bytes_to_.begin(), bytes_to_.end(), 0);
+  std::fill(msgs_to_.begin(), msgs_to_.end(), 0);
 }
 
 std::vector<std::uint8_t> Communicator::recv_bytes(int source, int tag) {

@@ -135,12 +135,23 @@ class Communicator {
       const std::vector<std::vector<std::uint8_t>>& send);
 
   // ---- traffic accounting ----
+  // Counts point-to-point traffic only: collectives move data through the
+  // barrier-synchronized pointer staging area, not the mailboxes, so they
+  // appear in neither the send counters nor the mailbox stats.
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
-  void reset_traffic_counters() {
-    bytes_sent_ = 0;
-    messages_sent_ = 0;
-  }
+  /// (bytes, messages) this rank sent to `dest`.
+  std::uint64_t bytes_sent_to(int dest) const;
+  std::uint64_t messages_sent_to(int dest) const;
+  /// Receive-side counters: this rank's mailbox stats (delivered/consumed
+  /// messages and bytes, queue high-water mark, blocked-in-pop seconds).
+  MailboxStats recv_stats() const;
+  /// (messages, bytes) this rank consumed that `source` sent it.
+  std::pair<std::uint64_t, std::uint64_t> received_from(int source) const;
+  /// Zero the send-side counters (benches isolate measured sections).
+  /// Mailbox stats are monotonic for the Context lifetime and are *not*
+  /// reset — interval consumers take snapshots and subtract.
+  void reset_traffic_counters();
 
   Context* context() { return ctx_; }
 
@@ -154,6 +165,8 @@ class Communicator {
   int rank_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
+  std::vector<std::uint64_t> bytes_to_;  // per-peer send counters
+  std::vector<std::uint64_t> msgs_to_;
 };
 
 /// Spawn `nranks` threads each running fn(comm).  Exceptions from rank

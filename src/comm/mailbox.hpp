@@ -47,6 +47,21 @@ class AbortedError : public std::runtime_error {
       : std::runtime_error("comm: context aborted (a peer rank failed)") {}
 };
 
+/// Monotonic receive-side traffic counters, snapshot under the mailbox
+/// mutex (stats()).  "pushed" counts what peers delivered, "popped" what
+/// the owning rank consumed; `pop_wait_s` is the total wall time blocked
+/// inside pop() (including waits that ended in AbortedError).  Counters
+/// only ever grow for the lifetime of the Context — callers that want
+/// per-interval numbers take deltas of snapshots.
+struct MailboxStats {
+  std::uint64_t messages_pushed = 0;
+  std::uint64_t bytes_pushed = 0;
+  std::uint64_t messages_popped = 0;
+  std::uint64_t bytes_popped = 0;
+  std::uint64_t peak_queue_depth = 0;  // high-water mark of queued messages
+  double pop_wait_s = 0.0;
+};
+
 class Mailbox {
  public:
   void push(int source, int tag, std::vector<std::uint8_t> payload);
@@ -72,12 +87,21 @@ class Mailbox {
   /// the map without bound; tests assert on this.
   std::size_t queue_count() const;
 
+  /// Consistent snapshot of the traffic counters.
+  MailboxStats stats() const;
+  /// (messages, bytes) successfully popped that arrived from `source`.
+  std::pair<std::uint64_t, std::uint64_t> received_from(int source) const;
+
  private:
   using Key = std::pair<int, int>;  // (source, tag)
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<Key, std::deque<std::vector<std::uint8_t>>> queues_;
   const std::atomic<bool>* abort_ = nullptr;
+  // Traffic accounting, all guarded by mutex_.
+  MailboxStats stats_;
+  std::uint64_t depth_ = 0;  // currently queued messages
+  std::map<int, std::pair<std::uint64_t, std::uint64_t>> per_source_;
 };
 
 }  // namespace v6d::comm

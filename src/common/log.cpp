@@ -1,8 +1,10 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace v6d::log {
 
@@ -10,6 +12,7 @@ namespace {
 std::atomic<Level> g_level{Level::kInfo};
 thread_local int t_rank = -1;
 std::mutex g_mutex;
+std::function<void(const std::string&)> g_sink;  // guarded by g_mutex
 
 const char* level_name(Level level) {
   switch (level) {
@@ -24,20 +27,45 @@ const char* level_name(Level level) {
   }
   return "?";
 }
+
+double seconds_since_start() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
 }  // namespace
 
 void set_level(Level level) { g_level.store(level); }
 Level level() { return g_level.load(); }
 void set_rank(int rank) { t_rank = rank; }
 
-void write(Level level, const std::string& message) {
+void set_sink(std::function<void(const std::string&)> sink) {
   std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void write(Level level, const std::string& message) {
+  char prefix[64];
   if (t_rank >= 0) {
-    std::fprintf(stderr, "[%s][rank %d] %s\n", level_name(level), t_rank,
-                 message.c_str());
+    std::snprintf(prefix, sizeof prefix, "[%.3f][%s][rank %d] ",
+                  seconds_since_start(), level_name(level), t_rank);
   } else {
-    std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+    std::snprintf(prefix, sizeof prefix, "[%.3f][%s] ",
+                  seconds_since_start(), level_name(level));
   }
+  std::string line = prefix;
+  line += message;
+
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink) {
+    g_sink(line);
+    return;
+  }
+  line += '\n';
+  // One fwrite per line: stderr is unbuffered, but separate fprintf calls
+  // for prefix and body could still interleave across processes sharing
+  // the stream.
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace v6d::log

@@ -4,6 +4,7 @@
 // each line so interleaved output from rank threads stays attributable.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,6 +17,13 @@ Level level();
 /// Tag subsequent messages from this thread with a rank id (-1 = untagged).
 void set_rank(int rank);
 
+/// Redirect formatted lines (no trailing newline) away from stderr, e.g.
+/// for test capture.  Pass nullptr to restore stderr.  The sink runs under
+/// the logging mutex, so it must not log.
+void set_sink(std::function<void(const std::string&)> sink);
+
+/// Format `[seconds-since-start][LEVEL][rank N] message` and emit it as one
+/// write under a single mutex — concurrent rank lines cannot tear mid-line.
 void write(Level level, const std::string& message);
 
 namespace detail {

@@ -7,9 +7,12 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "common/trace.hpp"
 
 namespace v6d {
 
@@ -54,11 +57,20 @@ class TimerRegistry {
 };
 
 /// RAII timer: adds elapsed wall time to `registry[bucket]` on destruction.
+/// When tracing is enabled the same interval is also emitted as a trace
+/// span named after the bucket, so every timer bucket doubles as a
+/// timeline lane; when tracing is off the extra cost is one relaxed load.
 class ScopedTimer {
  public:
   ScopedTimer(TimerRegistry& registry, std::string bucket)
-      : registry_(registry), bucket_(std::move(bucket)) {}
-  ~ScopedTimer() { registry_.add(bucket_, watch_.seconds()); }
+      : registry_(registry),
+        bucket_(std::move(bucket)),
+        trace_t0_(trace::enabled() ? trace::now_ns() : trace::detail::kOff) {}
+  ~ScopedTimer() {
+    if (trace_t0_ != trace::detail::kOff)
+      trace::emit_span(bucket_.c_str(), trace_t0_, trace::now_ns());
+    registry_.add(bucket_, watch_.seconds());
+  }
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -66,6 +78,7 @@ class ScopedTimer {
  private:
   TimerRegistry& registry_;
   std::string bucket_;
+  std::uint64_t trace_t0_;
   Stopwatch watch_;
 };
 

@@ -61,6 +61,8 @@ void SimulationConfig::apply(const Options& options) {
   wall_budget_s = options.get_double("wall_budget_s", wall_budget_s);
   progress_every = options.get_int("progress_every", progress_every);
   perf_report = options.get("perf_report", perf_report);
+  trace = options.get("trace", trace);
+  telemetry = options.get("telemetry", telemetry);
 }
 
 std::map<std::string, std::string> SimulationConfig::to_kv() const {
@@ -91,6 +93,8 @@ std::map<std::string, std::string> SimulationConfig::to_kv() const {
   kv["wall_budget_s"] = fmt_double(wall_budget_s);
   kv["progress_every"] = fmt_int(progress_every);
   kv["perf_report"] = perf_report;
+  kv["trace"] = trace;
+  kv["telemetry"] = telemetry;
   return kv;
 }
 

@@ -59,6 +59,10 @@ struct SimulationConfig {
   int progress_every = 0;      // progress line cadence in steps (0 = quiet)
   std::string perf_report = "";  // v6d-perf/1 JSON path, written when run()
                                  // stops ("" = off)
+  std::string trace = "";      // Chrome trace_event JSON path, merged over
+                               // all ranks when run() stops ("" = off)
+  std::string telemetry = "";  // JSONL heartbeat path, one row per step
+                               // ("" = off)
 
   /// Overwrite every field whose key is present in `options` (or in the
   /// V6D_* environment).  Absent keys keep their current values, so the

@@ -6,13 +6,17 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <stdexcept>
 
 #include "comm/runner.hpp"
+#include "common/trace.hpp"
 #include "driver/driver.hpp"
+#include "driver/telemetry.hpp"
 #include "io/snapshot.hpp"
 #include "parallel/decomp_plan.hpp"
 #include "parallel/distributed_solver.hpp"
+#include "vlasov/sweeps.hpp"
 
 namespace v6d::driver {
 
@@ -161,7 +165,25 @@ RunResult Driver::run_distributed() {
   const auto dims = resolve_run_decomp(cfg_, *solver_);
   Stopwatch wall;
 
+  // Tracing is armed before the rank threads exist and flushed after they
+  // join — the control-plane quiescence the trace buffers require.
+  if (!cfg_.trace.empty()) {
+    trace::reset();
+    trace::enable();
+  }
+  // The heartbeat needs collectives (global mass, comm-byte allreduce), so
+  // the *decision* to emit it must be uniform across ranks; only the lead
+  // rank owns the stream and writes rows.
+  const bool heartbeat = !cfg_.telemetry.empty();
+  TelemetryStream telemetry;
+  if (heartbeat) {
+    std::string error;
+    if (!telemetry.open(cfg_.telemetry, &error))
+      throw std::runtime_error(error);
+  }
+
   comm::run(cfg_.ranks, [&](comm::Communicator& comm) {
+    trace::set_rank(comm.rank());
     parallel::DistributedHybridSolver ds(*solver_, comm, dims, cfg_.overlap);
     const bool lead = comm.rank() == 0;
     double a = a_;
@@ -170,6 +192,7 @@ RunResult Driver::run_distributed() {
     StopReason reason = StopReason::kFinished;
     bool early = false;
     std::string checkpoint_written;
+    const double mass0 = heartbeat ? ds.total_mass() : 0.0;
 
     auto checkpoint_all = [&] {
       write_distributed_checkpoint(cfg_, rng_.state(), ds, comm,
@@ -201,10 +224,42 @@ RunResult Driver::run_distributed() {
         a1 = std::min(ds.suggest_next_a(a, cfg_.da_max), cfg_.a_final);
         if (lead) timers_.add("step-control", control.seconds());
       }
+      std::map<std::string, double> phases_before;
+      if (heartbeat && lead) phases_before = timer_totals(ds.timers());
+      double step_seconds;
       {
+        trace::Span step_span("step");
         Stopwatch step_watch;
         ds.step(a, a1);
-        if (lead) timers_.add_sample("step", step_watch.seconds());
+        step_seconds = step_watch.seconds();
+        if (lead) timers_.add_sample("step", step_seconds);
+      }
+      trace::counter("comm-bytes-sent",
+                     static_cast<double>(comm.bytes_sent()));
+      if (heartbeat) {
+        // Collectives: every rank participates, the lead writes the row.
+        const double mass = ds.total_mass();
+        const std::uint64_t comm_bytes = static_cast<std::uint64_t>(
+            comm.allreduce_sum(static_cast<std::int64_t>(comm.bytes_sent())));
+        if (lead) {
+          Heartbeat hb;
+          hb.step = steps + 1;
+          hb.a = a1;
+          hb.da = a1 - a;
+          if (ds.has_neutrinos())
+            // Geometry-only bound, identical on every rank — no collective.
+            hb.cfl_shift = vlasov::max_position_shift(
+                ds.local_f(), ds.background().drift_factor(a, a1));
+          hb.mass = mass;
+          hb.mass_drift = mass0 != 0.0 ? (mass - mass0) / mass0 : 0.0;
+          hb.step_seconds = step_seconds;
+          hb.phase_seconds =
+              timer_delta(phases_before, timer_totals(ds.timers()));
+          hb.comm_bytes = comm_bytes;
+          hb.rss_mb = current_rss_mb();
+          telemetry.write(hb);
+          trace::counter("mass-drift", hb.mass_drift);
+        }
       }
       a = a1;
       ++steps;
@@ -245,7 +300,17 @@ RunResult Driver::run_distributed() {
   result.a = a_;
   result.total_steps = steps_;
   if (!cfg_.perf_report.empty()) write_perf_report(cfg_.perf_report);
+  if (!cfg_.trace.empty()) write_trace_file(cfg_.trace);
   return result;
+}
+
+void write_trace_file(const std::string& path) {
+  const auto events = trace::collect();
+  std::string error;
+  const bool ok = trace::write_chrome_trace(path, events, &error);
+  trace::disable();
+  trace::reset();
+  if (!ok) throw std::runtime_error("cannot write trace: " + error);
 }
 
 }  // namespace v6d::driver

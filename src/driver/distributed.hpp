@@ -35,4 +35,9 @@ io::SnapshotStatus assemble_phase_space_shards(const std::string& dir,
                                                vlasov::PhaseSpace& global,
                                                std::string* error = nullptr);
 
+/// Flush the recorded trace (all ranks' buffers, merged) as Chrome
+/// trace_event JSON at `path`, then disable tracing and drop the events.
+/// Must run after the rank threads have joined.  Throws on I/O failure.
+void write_trace_file(const std::string& path);
+
 }  // namespace v6d::driver

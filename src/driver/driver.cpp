@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <stdexcept>
+#include <string>
 
+#include "common/trace.hpp"
 #include "driver/checkpoint.hpp"
 #include "driver/distributed.hpp"
 #include "driver/scenario.hpp"
+#include "driver/telemetry.hpp"
 #include "io/perf_report.hpp"
+#include "vlasov/sweeps.hpp"
 
 namespace v6d::driver {
 
@@ -124,6 +129,11 @@ void Driver::write_checkpoint(const std::string& dir) const {
 
 RunResult Driver::run() {
   if (cfg_.ranks > 1) return run_distributed();
+  if (!cfg_.trace.empty()) {
+    trace::reset();
+    trace::enable();
+    trace::set_rank(0);
+  }
   Stopwatch wall;
   RunResult result;
   const auto stop_with_checkpoint = [&](StopReason reason) {
@@ -133,6 +143,23 @@ RunResult Driver::run() {
       write_checkpoint(cfg_.checkpoint_dir);
       result.checkpoint = cfg_.checkpoint_dir;
     }
+  };
+
+  TelemetryStream telemetry;
+  double mass0 = 0.0;
+  if (!cfg_.telemetry.empty()) {
+    std::string error;
+    if (!telemetry.open(cfg_.telemetry, &error))
+      throw std::runtime_error(error);
+    mass0 = solver_->total_mass();
+  }
+  // Per-step phase increments for the heartbeat = deltas of the merged
+  // (driver + solver) bucket totals around the step.
+  const auto phase_snapshot = [&] {
+    TimerRegistry merged;
+    merged.merge(timers_);
+    merged.merge(solver_->timers(), "solver:");
+    return timer_totals(merged);
   };
 
   while (a_ < cfg_.a_final - 1e-12) {
@@ -150,12 +177,34 @@ RunResult Driver::run() {
       ScopedTimer t(timers_, "step-control");
       a1 = std::min(solver_->suggest_next_a(a_, cfg_.da_max), cfg_.a_final);
     }
+    std::map<std::string, double> phases_before;
+    if (telemetry.is_open()) phases_before = phase_snapshot();
+    double step_seconds;
     {
       // Per-step samples feed the paper's median-of-steps metric in the
       // perf report alongside the accumulated total.
+      trace::Span step_span("step");
       Stopwatch step_watch;
       solver_->step(a_, a1);
-      timers_.add_sample("step", step_watch.seconds());
+      step_seconds = step_watch.seconds();
+      timers_.add_sample("step", step_seconds);
+    }
+    if (telemetry.is_open()) {
+      Heartbeat hb;
+      hb.step = steps_ + 1;
+      hb.a = a1;
+      hb.da = a1 - a_;
+      if (solver_->neutrinos().dims().total_interior() > 0)
+        hb.cfl_shift = vlasov::max_position_shift(
+            solver_->neutrinos(), solver_->background().drift_factor(a_, a1));
+      hb.mass = solver_->total_mass();
+      hb.mass_drift = mass0 != 0.0 ? (hb.mass - mass0) / mass0 : 0.0;
+      hb.step_seconds = step_seconds;
+      hb.phase_seconds = timer_delta(phases_before, phase_snapshot());
+      hb.comm_bytes = 0;  // serial: no p2p traffic
+      hb.rss_mb = current_rss_mb();
+      telemetry.write(hb);
+      trace::counter("mass-drift", hb.mass_drift);
     }
     a_ = a1;
     ++steps_;
@@ -176,6 +225,7 @@ RunResult Driver::run() {
   result.a = a_;
   result.total_steps = steps_;
   if (!cfg_.perf_report.empty()) write_perf_report(cfg_.perf_report);
+  if (!cfg_.trace.empty()) write_trace_file(cfg_.trace);
   return result;
 }
 
@@ -184,6 +234,7 @@ void Driver::write_perf_report(const std::string& path) const {
   report.context["scenario"] = cfg_.scenario;
   report.context["a"] = std::to_string(a_);
   report.context["steps"] = std::to_string(static_cast<long long>(steps_));
+  report.context["ranks"] = std::to_string(cfg_.ranks);
 
   // Driver buckets (step / step-control / checkpoint-io) and the solver's
   // force/sweep buckets (vlasov / pm / tree / vlasov-moments) share one

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/trace.hpp"
 #include "mesh/interp.hpp"
 
 namespace v6d::hybrid {
@@ -212,6 +213,7 @@ void HybridSolver::step(double a0, double a1) {
   const double kick_pre = background_.kick_factor(a0, a_mid);
   if (has_nu_) {
     ScopedTimer t(timers_, "vlasov");
+    trace::Span kick_span("kick");
     vlasov::kick_half(f_, nu_ax_, nu_ay_, nu_az_, kick_pre,
                       options_.kernel);
   }
@@ -230,6 +232,7 @@ void HybridSolver::step(double a0, double a1) {
   const double kick_post = background_.kick_factor(a_mid, a1);
   if (has_nu_) {
     ScopedTimer t(timers_, "vlasov");
+    trace::Span kick_span("kick");
     vlasov::kick_half(f_, nu_ax_, nu_ay_, nu_az_, kick_post,
                       options_.kernel);
   }

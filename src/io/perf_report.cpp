@@ -152,6 +152,8 @@ PerfReport make_perf_report(const std::string& name) {
   report.context["fma"] = std::string(isa.has_fma ? "1" : "0");
   report.context["threads"] = std::to_string(simd::thread_count());
   report.context["quick"] = std::string(quick_mode() ? "1" : "0");
+  // Simulated-MPI rank count; producers that fan out overwrite this.
+  report.context["ranks"] = std::string("1");
   return report;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace v6d::mesh {
 
@@ -135,6 +136,7 @@ void HaloPlan::wrap_axis(vlasov::PhaseSpace& f, int axis) const {
 }
 
 void HaloPlan::begin_axis(vlasov::PhaseSpace& f, int axis) {
+  trace::Span span("halo-begin");
   const auto& ap = axes_[static_cast<std::size_t>(axis)];
   if (!ap.decomposed) {
     wrap_axis(f, axis);
@@ -156,16 +158,19 @@ void HaloPlan::begin_axis(vlasov::PhaseSpace& f, int axis) {
 }
 
 void HaloPlan::finish_axis(vlasov::PhaseSpace& f, int axis) {
+  trace::Span span("halo-finish");
   const auto& ap = axes_[static_cast<std::size_t>(axis)];
   if (!ap.decomposed) return;
   const auto ax = static_cast<std::size_t>(axis);
   {
+    trace::Span wait_span("halo-wait");
     Stopwatch w;
     pending_lo_[ax].wait_into(recv_buf_.data(), ap.face_floats);
     wait_s_ += w.seconds();
   }
   unpack_face(f, axis, -ghost_, recv_buf_.data());
   {
+    trace::Span wait_span("halo-wait");
     Stopwatch w;
     pending_hi_[ax].wait_into(recv_buf_.data(), ap.face_floats);
     wait_s_ += w.seconds();
@@ -174,14 +179,17 @@ void HaloPlan::finish_axis(vlasov::PhaseSpace& f, int axis) {
 }
 
 void HaloPlan::finish_axis_into(float* lo_face, float* hi_face, int axis) {
+  trace::Span span("halo-finish");
   const auto& ap = axes_[static_cast<std::size_t>(axis)];
   const auto ax = static_cast<std::size_t>(axis);
   {
+    trace::Span wait_span("halo-wait");
     Stopwatch w;
     pending_lo_[ax].wait_into(lo_face, ap.face_floats);
     wait_s_ += w.seconds();
   }
   {
+    trace::Span wait_span("halo-wait");
     Stopwatch w;
     pending_hi_[ax].wait_into(hi_face, ap.face_floats);
     wait_s_ += w.seconds();
@@ -296,12 +304,14 @@ void GridFoldPlan::complete_axis(Grid3D<double>& grid, int axis) {
   };
   recv_buf_.resize(count);
   {
+    trace::Span wait_span("fold-wait");
     Stopwatch w;
     h_lo_.wait_into(recv_buf_.data(), count);
     wait_s_ += w.seconds();
   }
   add(0);
   {
+    trace::Span wait_span("fold-wait");
     Stopwatch w;
     h_hi_.wait_into(recv_buf_.data(), count);
     wait_s_ += w.seconds();
@@ -310,6 +320,7 @@ void GridFoldPlan::complete_axis(Grid3D<double>& grid, int axis) {
 }
 
 void GridFoldPlan::begin(Grid3D<double>& grid) {
+  trace::Span span("fold-begin");
   pending_axis_ = -1;
   if (cart_->comm().size() == 1) {
     // Bit-identical to the blocking path: the single-rank fold is the
@@ -330,6 +341,7 @@ void GridFoldPlan::begin(Grid3D<double>& grid) {
 }
 
 void GridFoldPlan::finish(Grid3D<double>& grid) {
+  trace::Span span("fold-finish");
   if (pending_axis_ < 0) return;
   complete_axis(grid, pending_axis_);
   for (int axis = pending_axis_ - 1; axis >= 0; --axis) {

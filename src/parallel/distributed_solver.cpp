@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "common/trace.hpp"
 #include "mesh/halo.hpp"
 #include "mesh/interp.hpp"
 #include "parallel/decomp_plan.hpp"
@@ -163,6 +164,7 @@ bool DistributedHybridSolver::owns_particle(std::size_t i) const {
 }
 
 void DistributedHybridSolver::deposit_cdm_local() {
+  trace::Span span("deposit");
   rho_cdm_.fill(0.0);
   if (cdm_.size() == 0) return;
   // Particles are replicated; each rank deposits only the ones it owns
@@ -193,6 +195,7 @@ void DistributedHybridSolver::compute_nu_moment() {
 }
 
 void DistributedHybridSolver::inject_nu_density() {
+  trace::Span span("deposit");
   // Inject the moment onto the local PM brick cell by cell (mirrors
   // HybridSolver::deposit_nu_density; cell centers are global coordinates
   // because the brick geometry origin is shifted).
@@ -322,11 +325,17 @@ void DistributedHybridSolver::compute_forces(double a) {
     std::vector<fft::cplx>* slab_nu = nullptr;
     if (!overlap_) {
       slab_cdm_sync_ = brick_to_slab(rho_cdm_, pm_dec_, pfft_, cart_);
-      pfft_.forward(slab_cdm_sync_);
+      {
+        trace::Span fft_span("fft-forward");
+        pfft_.forward(slab_cdm_sync_);
+      }
       slab_cdm = &slab_cdm_sync_;
       if (has_nu_) {
         slab_nu_sync_ = brick_to_slab(rho_nu_, pm_dec_, pfft_, cart_);
-        pfft_.forward(slab_nu_sync_);
+        {
+          trace::Span fft_span("fft-forward");
+          pfft_.forward(slab_nu_sync_);
+        }
         slab_nu = &slab_nu_sync_;
       }
     } else {
@@ -340,9 +349,13 @@ void DistributedHybridSolver::compute_forces(double a) {
         slab_nu_x_.begin_to_slab(rho_nu_);
       }
       slab_cdm = &slab_cdm_x_.finish_to_slab();
-      pfft_.forward(*slab_cdm);
+      {
+        trace::Span fft_span("fft-forward");
+        pfft_.forward(*slab_cdm);
+      }
       if (has_nu_) {
         slab_nu = &slab_nu_x_.finish_to_slab();
+        trace::Span fft_span("fft-forward");
         pfft_.forward(*slab_nu);
       }
     }
@@ -375,7 +388,10 @@ void DistributedHybridSolver::compute_forces(double a) {
           s = fft::cplx(0.0, -1.0) * k_d * phi_[m];
           ++m;
         });
-        pfft_.inverse_normalized(spec_);
+        {
+          trace::Span fft_span("fft-inverse");
+          pfft_.inverse_normalized(spec_);
+        }
         if (!overlap_) {
           slab_to_brick(spec_, pfft_, pm_dec_, cart_, *outs[d]);
         } else {
@@ -529,6 +545,7 @@ void DistributedHybridSolver::step(double a0, double a1) {
   const double kick_pre = background_.kick_factor(a0, a_mid);
   if (has_nu_) {
     ScopedTimer t(timers_, "vlasov");
+    trace::Span kick_span("kick");
     vlasov::kick_half(f_, nu_ax_, nu_ay_, nu_az_, kick_pre, options_.kernel);
   }
   nbody::kick(cdm_, ax_, ay_, az_, kick_pre);
@@ -545,6 +562,7 @@ void DistributedHybridSolver::step(double a0, double a1) {
   const double kick_post = background_.kick_factor(a_mid, a1);
   if (has_nu_) {
     ScopedTimer t(timers_, "vlasov");
+    trace::Span kick_span("kick");
     vlasov::kick_half(f_, nu_ax_, nu_ay_, nu_az_, kick_post, options_.kernel);
   }
   nbody::kick(cdm_, ax_, ay_, az_, kick_post);

@@ -97,6 +97,7 @@ class DistributedHybridSolver {
   const mesh::BrickDecomposition& decomposition() const { return dec_; }
   bool has_neutrinos() const { return has_nu_; }
   bool overlap_enabled() const { return overlap_; }
+  const cosmo::Background& background() const { return background_; }
 
   /// The step-boundary force cache in *global* layout: the Vlasov-grid
   /// acceleration bricks are assembled across ranks (collective), the

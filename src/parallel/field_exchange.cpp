@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace v6d::parallel {
 
@@ -201,6 +202,7 @@ SlabExchange::SlabExchange(const mesh::BrickDecomposition& dec,
 }
 
 void SlabExchange::begin_to_slab(const mesh::Grid3D<double>& brick) {
+  trace::Span span("slab-begin");
   auto& comm = cart_->comm();
   for (std::size_t s = 0; s < brick_rows_.size(); ++s) {
     const auto& fp = brick_rows_[s];
@@ -221,6 +223,7 @@ void SlabExchange::begin_to_slab(const mesh::Grid3D<double>& brick) {
 }
 
 std::vector<fft::cplx>& SlabExchange::finish_to_slab() {
+  trace::Span span("slab-finish");
   const int n = pfft_->n();
   for (std::size_t s = 0; s < slab_rows_.size(); ++s) {
     const auto& fp = slab_rows_[s];
@@ -228,6 +231,7 @@ std::vector<fft::cplx>& SlabExchange::finish_to_slab() {
         static_cast<std::size_t>(fp.x1 - fp.x0) * fp.ny * fp.nz;
     recv_buf_.resize(count);
     {
+      trace::Span wait_span("slab-wait");
       Stopwatch w;
       pending_[s].wait_into(recv_buf_.data(), count);
       wait_s_ += w.seconds();
@@ -244,6 +248,7 @@ std::vector<fft::cplx>& SlabExchange::finish_to_slab() {
 }
 
 void SlabExchange::begin_to_brick(const std::vector<fft::cplx>& slab) {
+  trace::Span span("slab-begin");
   auto& comm = cart_->comm();
   const int n = pfft_->n();
   for (std::size_t s = 0; s < slab_rows_.size(); ++s) {
@@ -267,12 +272,14 @@ void SlabExchange::begin_to_brick(const std::vector<fft::cplx>& slab) {
 }
 
 void SlabExchange::finish_to_brick(mesh::Grid3D<double>& brick) {
+  trace::Span span("slab-finish");
   for (std::size_t s = 0; s < brick_rows_.size(); ++s) {
     const auto& fp = brick_rows_[s];
     const std::size_t count =
         static_cast<std::size_t>(fp.x1 - fp.x0) * fp.ny * fp.nz;
     recv_buf_.resize(count);
     {
+      trace::Span wait_span("slab-wait");
       Stopwatch w;
       pending_[s].wait_into(recv_buf_.data(), count);
       wait_s_ += w.seconds();

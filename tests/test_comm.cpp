@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "comm/cart.hpp"
@@ -128,6 +131,100 @@ TEST(Comm, TrafficCountersTrackBytes) {
     comm.recv(1 - comm.rank(), 9, sink, 4);
     EXPECT_EQ(comm.bytes_sent(), 4 * sizeof(double));
     EXPECT_EQ(comm.messages_sent(), 1u);
+  });
+}
+
+// Scripted all-to-all exchange with exact, deterministic traffic: every
+// rank sends 3 messages of 8/16/24 bytes to every peer, so send-side and
+// mailbox-side counters must agree to the byte.
+void exchange_with_exact_counts(int p) {
+  run(p, [&](Communicator& comm) {
+    comm.barrier();
+    const auto recv0 = comm.recv_stats();
+    comm.barrier();  // nobody sends before every rank snapshots
+
+    const std::uint8_t fill = static_cast<std::uint8_t>(comm.rank());
+    std::vector<std::uint8_t> buf(24, fill);
+    for (int peer = 0; peer < p; ++peer) {
+      if (peer == comm.rank()) continue;
+      for (int m = 1; m <= 3; ++m)
+        comm.send(peer, 200 + m, buf.data(),
+                  static_cast<std::size_t>(8 * m));
+    }
+    for (int peer = 0; peer < p; ++peer) {
+      if (peer == comm.rank()) continue;
+      for (int m = 1; m <= 3; ++m) {
+        const auto payload = comm.recv_bytes(peer, 200 + m);
+        ASSERT_EQ(payload.size(), static_cast<std::size_t>(8 * m));
+        EXPECT_EQ(payload[0], static_cast<std::uint8_t>(peer));
+      }
+    }
+
+    const auto peers = static_cast<std::uint64_t>(p - 1);
+    EXPECT_EQ(comm.messages_sent(), 3 * peers);
+    EXPECT_EQ(comm.bytes_sent(), (8u + 16u + 24u) * peers);
+    for (int peer = 0; peer < p; ++peer) {
+      if (peer == comm.rank()) {
+        EXPECT_EQ(comm.messages_sent_to(peer), 0u);
+        EXPECT_EQ(comm.bytes_sent_to(peer), 0u);
+      } else {
+        EXPECT_EQ(comm.messages_sent_to(peer), 3u);
+        EXPECT_EQ(comm.bytes_sent_to(peer), 48u);
+        const auto [msgs, bytes] = comm.received_from(peer);
+        EXPECT_EQ(msgs, 3u);
+        EXPECT_EQ(bytes, 48u);
+      }
+    }
+    // Every rank popped everything it was sent, so the mailbox deltas are
+    // exact (pushes happen-before the pops that drained them).
+    const auto recv1 = comm.recv_stats();
+    EXPECT_EQ(recv1.messages_popped - recv0.messages_popped, 3 * peers);
+    EXPECT_EQ(recv1.bytes_popped - recv0.bytes_popped, 48 * peers);
+    EXPECT_EQ(recv1.messages_pushed - recv0.messages_pushed, 3 * peers);
+    EXPECT_EQ(recv1.bytes_pushed - recv0.bytes_pushed, 48 * peers);
+    if (p > 1) {
+      EXPECT_GE(recv1.peak_queue_depth, 1u);
+    }
+  });
+}
+
+TEST(Comm, ExchangeCountsAreExactTwoRanks) { exchange_with_exact_counts(2); }
+TEST(Comm, ExchangeCountsAreExactFourRanks) { exchange_with_exact_counts(4); }
+
+TEST(Comm, RecvWaitTimeAccumulates) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const double value = 1.5;
+      comm.send(1, 3, &value, 1);
+    } else {
+      const double before = comm.recv_stats().pop_wait_s;
+      double got = 0.0;
+      comm.recv(0, 3, &got, 1);
+      EXPECT_DOUBLE_EQ(got, 1.5);
+      // The blocking recv waited for most of the sender's sleep.
+      EXPECT_GT(comm.recv_stats().pop_wait_s - before, 0.02);
+    }
+  });
+}
+
+TEST(Comm, ResetClearsSendSideOnlyMailboxStatsAreMonotonic) {
+  run(2, [&](Communicator& comm) {
+    const double payload = 7.0;
+    comm.send(1 - comm.rank(), 11, &payload, 1);
+    double sink = 0.0;
+    comm.recv(1 - comm.rank(), 11, &sink, 1);
+    EXPECT_GT(comm.bytes_sent(), 0u);
+    const auto before = comm.recv_stats();
+    comm.reset_traffic_counters();
+    EXPECT_EQ(comm.bytes_sent(), 0u);
+    EXPECT_EQ(comm.messages_sent(), 0u);
+    EXPECT_EQ(comm.bytes_sent_to(1 - comm.rank()), 0u);
+    // The mailbox view is a lifetime total; reset must not rewind it.
+    const auto after = comm.recv_stats();
+    EXPECT_EQ(after.messages_popped, before.messages_popped);
+    EXPECT_EQ(after.bytes_popped, before.bytes_popped);
+    EXPECT_GE(after.messages_popped, 1u);
   });
 }
 

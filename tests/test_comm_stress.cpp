@@ -117,6 +117,55 @@ TEST_P(CommStressRanks, MailboxMessageStorm) {
   });
 }
 
+// Mailbox counters sampled *during* a message storm must never move
+// backwards, and the final deltas must equal the scripted traffic exactly.
+TEST_P(CommStressRanks, MailboxCountersMonotonicUnderStorm) {
+  const int p = GetParam();
+  constexpr int kMessages = 64;
+  run(p, [&](Communicator& comm) {
+    const int me = comm.rank();
+    const int next = (me + 1) % p;
+    const int prev = (me - 1 + p) % p;
+    comm.barrier();
+    const auto base = comm.recv_stats();
+    comm.barrier();  // nobody sends before every rank snapshots
+
+    std::uint64_t expect_bytes = 0;
+    for (int s = 0; s < kMessages; ++s) {
+      const std::size_t size = static_cast<std::size_t>(1 + s % 7);
+      expect_bytes += size;
+      std::vector<std::uint8_t> payload(size, 0x5A);
+      comm.send(next, 300, payload.data(), payload.size());
+    }
+
+    auto last = comm.recv_stats();
+    for (int s = 0; s < kMessages; ++s) {
+      const auto payload = comm.recv_bytes(prev, 300);
+      ASSERT_EQ(payload.size(), static_cast<std::size_t>(1 + s % 7));
+      const auto now = comm.recv_stats();
+      EXPECT_GE(now.messages_pushed, last.messages_pushed);
+      EXPECT_GE(now.bytes_pushed, last.bytes_pushed);
+      EXPECT_GE(now.messages_popped, last.messages_popped);
+      EXPECT_GE(now.bytes_popped, last.bytes_popped);
+      EXPECT_GE(now.peak_queue_depth, last.peak_queue_depth);
+      EXPECT_GE(now.pop_wait_s, last.pop_wait_s);
+      last = now;
+    }
+
+    // Everything sent to me was popped by me, so the deltas are exact.
+    const auto end = comm.recv_stats();
+    EXPECT_EQ(end.messages_popped - base.messages_popped,
+              static_cast<std::uint64_t>(kMessages));
+    EXPECT_EQ(end.bytes_popped - base.bytes_popped, expect_bytes);
+    EXPECT_EQ(end.messages_pushed - base.messages_pushed,
+              static_cast<std::uint64_t>(kMessages));
+    EXPECT_EQ(end.bytes_pushed - base.bytes_pushed, expect_bytes);
+    if (p > 1) {
+      EXPECT_GE(end.peak_queue_depth, 1u);
+    }
+  });
+}
+
 // Barrier churn: the generation counter must strictly separate rounds even
 // when ranks arrive with skewed timing.
 TEST_P(CommStressRanks, BarrierStormSeparatesRounds) {

@@ -5,9 +5,12 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/aligned.hpp"
+#include "common/log.hpp"
 #include "common/ndview.hpp"
 #include "common/options.hpp"
 #include "common/rng.hpp"
@@ -115,6 +118,31 @@ TEST(Timer, ScopedTimerMeasuresElapsed) {
   }
   EXPECT_GT(reg.total("sleepy"), 0.005);
   EXPECT_LT(reg.total("sleepy"), 1.0);
+}
+
+TEST(Log, SinkCapturesFormattedLinesWithMonotonicTimestamps) {
+  std::vector<std::string> lines;
+  log::set_sink([&](const std::string& line) { lines.push_back(line); });
+  log::set_rank(5);
+  log::info("halo ", 3, " done");
+  log::set_rank(-1);
+  log::warn("untagged");
+  log::set_sink(nullptr);  // restore stderr before any assertion can log
+
+  ASSERT_EQ(lines.size(), 2u);
+  // [seconds][LEVEL][rank N] message — no trailing newline.
+  EXPECT_NE(lines[0].find("[INFO][rank 5] halo 3 done"), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[1].find("[WARN] untagged"), std::string::npos) << lines[1];
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '[');
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+  }
+  // The leading field is seconds-since-start and must not go backwards.
+  const double t0 = std::stod(lines[0].substr(1));
+  const double t1 = std::stod(lines[1].substr(1));
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GE(t1, t0);
 }
 
 TEST(Options, ParsesKeyValueAndDefaults) {

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by common/trace.
+
+Checks (stdlib only, used by CI's distributed-smoke job and by tests):
+  * the file is valid JSON with a ``traceEvents`` list;
+  * every event has name/ph/pid/tid/ts with the right types;
+  * ``ts`` is non-decreasing in file order (the writer globally sorts);
+  * per (pid, tid), B/E events are stack-balanced with matching names and
+    every span closes (no dangling B at end of stream);
+  * counter events carry a numeric ``args.value``.
+
+Usage:
+  python3 tools/check_trace.py TRACE.json [...]
+  python3 tools/check_trace.py --self-test
+"""
+
+import json
+import sys
+
+
+def check_trace(data, label="trace"):
+    """Return a list of problem strings (empty = valid)."""
+    problems = []
+    if not isinstance(data, dict) or not isinstance(
+        data.get("traceEvents"), list
+    ):
+        return [f"{label}: missing traceEvents list"]
+    events = data["traceEvents"]
+    last_ts = None
+    stacks = {}  # (pid, tid) -> [names]
+    for i, ev in enumerate(events):
+        where = f"{label}: event {i}"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph == "M":  # metadata events are exempt from ordering
+            continue
+        name = ev.get("name")
+        ts = ev.get("ts")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing name")
+            continue
+        if ph not in ("B", "E", "i", "C"):
+            problems.append(f"{where}: unexpected ph {ph!r}")
+            continue
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: non-numeric ts")
+            continue
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+            ev.get("tid"), int
+        ):
+            problems.append(f"{where}: missing pid/tid")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"{where}: ts {ts} goes backwards (previous {last_ts})"
+            )
+        last_ts = ts
+        key = (ev["pid"], ev["tid"])
+        stack = stacks.setdefault(key, [])
+        if ph == "B":
+            stack.append(name)
+        elif ph == "E":
+            if not stack:
+                problems.append(f"{where}: E '{name}' with empty stack {key}")
+            elif stack[-1] != name:
+                problems.append(
+                    f"{where}: E '{name}' does not match open span "
+                    f"'{stack[-1]}' on {key}"
+                )
+                stack.pop()
+            else:
+                stack.pop()
+        elif ph == "C":
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                problems.append(f"{where}: counter without numeric args.value")
+    for key, stack in stacks.items():
+        if stack:
+            problems.append(f"{label}: unclosed span(s) {stack} on {key}")
+    return problems
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"{path}: {err}"]
+    return check_trace(data, path)
+
+
+def self_test():
+    def trace(events):
+        return {"traceEvents": events}
+
+    def ev(ph, name, ts, pid=0, tid=0, **extra):
+        out = {"name": name, "ph": ph, "pid": pid, "tid": tid, "ts": ts}
+        out.update(extra)
+        return out
+
+    good = trace(
+        [
+            ev("B", "step", 0.0),
+            ev("B", "halo", 1.0),
+            ev("E", "halo", 2.0),
+            ev("C", "comm-bytes-sent", 2.5, args={"value": 128}),
+            ev("i", "marker", 2.6, s="t"),
+            ev("E", "step", 3.0),
+            ev("B", "step", 3.0, pid=1),  # other rank interleaves freely
+            ev("E", "step", 4.0, pid=1),
+        ]
+    )
+    assert check_trace(good) == [], check_trace(good)
+
+    bad_cases = [
+        ("not json object", [], "missing traceEvents"),
+        (
+            "backwards ts",
+            trace([ev("i", "a", 5.0, s="t"), ev("i", "b", 4.0, s="t")]),
+            "goes backwards",
+        ),
+        (
+            "unbalanced",
+            trace([ev("B", "step", 0.0), ev("E", "halo", 1.0)]),
+            "does not match",
+        ),
+        (
+            "dangling B",
+            trace([ev("B", "step", 0.0)]),
+            "unclosed span",
+        ),
+        (
+            "E on empty stack",
+            trace([ev("E", "step", 0.0)]),
+            "empty stack",
+        ),
+        (
+            "counter without value",
+            trace([ev("C", "bytes", 0.0)]),
+            "numeric args.value",
+        ),
+    ]
+    for label, data, expect in bad_cases:
+        problems = check_trace(data)
+        assert any(expect in p for p in problems), (label, problems)
+    print("check_trace self-test OK")
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        self_test()
+        return 0
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        problems = check_file(path)
+        for p in problems:
+            print(f"ERROR: {p}")
+        if problems:
+            failed = True
+        else:
+            with open(path, encoding="utf-8") as f:
+                n = len(json.load(f)["traceEvents"])
+            print(f"{path}: OK ({n} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,7 +18,20 @@ metric that no longer measures anything.  This lint cross-references:
 A consumer name is also accepted with a `TimerRegistry::merge` prefix
 (e.g. `solver:vlasov` when some caller merges with prefix `"solver:"`).
 tests/ are excluded: suites produce and consume their own ad-hoc buckets.
-Stdlib only; exit 0 when every consumed bucket has a producer.
+
+The same failure mode exists for trace events: tools/trace_summary.py
+keys its analysis on span/counter names (KNOWN_EVENTS), and a renamed
+`trace::Span` would silently drop out of the summary.  So this lint also
+cross-references, in BOTH directions:
+
+  trace producers — `trace::Span x("name")`, `trace::instant("name")`,
+                    `trace::counter("name", ...)` literals in src/, plus
+                    every ScopedTimer bucket (ScopedTimer emits a span
+                    named after its bucket when tracing is on)
+  trace contract  — the KNOWN_EVENTS set literal in tools/trace_summary.py
+
+Stdlib only; exit 0 when every consumed bucket has a producer and the
+trace contract matches the producers exactly.
 """
 import os
 import re
@@ -40,6 +53,57 @@ _CONSUME = [
     re.compile(r"\bsamples\s*\(\s*\"([^\"]+)\"\s*\)"),
 ]
 _MERGE_PREFIX = re.compile(r"\bmerge\s*\(\s*[^,()]+,\s*\"([^\"]+)\"\s*\)")
+_TRACE_PRODUCE = [
+    re.compile(r"\btrace::Span\s+\w+\s*(?:\(|\{)\s*\"([^\"]+)\""),
+    re.compile(r"\btrace::instant\s*\(\s*\"([^\"]+)\""),
+    re.compile(r"\btrace::counter\s*\(\s*\"([^\"]+)\""),
+]
+_KNOWN_EVENTS_BLOCK = re.compile(
+    r"KNOWN_EVENTS\s*=\s*\{(.*?)\}", re.DOTALL)
+_STRING_LITERAL = re.compile(r"\"([^\"]+)\"")
+
+
+def trace_contract(root):
+    """Parse the KNOWN_EVENTS set literal out of tools/trace_summary.py.
+
+    Returns None when the file is absent (self-test fixtures without a
+    tools/ dir skip the trace check)."""
+    path = os.path.join(root, "tools", "trace_summary.py")
+    if not os.path.isfile(path):
+        return None
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        m = _KNOWN_EVENTS_BLOCK.search(f.read())
+    if not m:
+        return set()
+    return set(_STRING_LITERAL.findall(m.group(1)))
+
+
+def lint_trace_events(root):
+    """Cross-check src/ trace-event names against KNOWN_EVENTS, both ways.
+
+    Returns (failures, n_produced) where each failure is a message
+    string.  ScopedTimer buckets count as trace producers because the
+    timer emits a span named after its bucket; plain add()/add_sample()
+    buckets do not (they never reach the trace)."""
+    contract = trace_contract(root)
+    if contract is None:
+        return [], 0
+    spans = scan(root, PRODUCER_DIRS, _TRACE_PRODUCE)
+    timer_spans = scan(root, PRODUCER_DIRS, [_PRODUCE[0]])
+    names = set(spans) | set(timer_spans)
+    failures = []
+    for name in sorted(names - contract):
+        sites = spans.get(name) or timer_spans.get(name) or []
+        at = f" ({sites[0][0]}:{sites[0][1]})" if sites else ""
+        failures.append(
+            f"trace event \"{name}\"{at} is produced in src/ but missing "
+            "from KNOWN_EVENTS in tools/trace_summary.py")
+    for name in sorted(contract - names):
+        failures.append(
+            f"KNOWN_EVENTS entry \"{name}\" in tools/trace_summary.py is "
+            "never produced by any trace::Span/instant/counter or "
+            "ScopedTimer bucket in src/")
+    return failures, len(names)
 
 
 def scan(root, dirs, patterns):
@@ -100,20 +164,56 @@ double broken(const v6d::TimerRegistry& reg) {
 }
 """
 
+CLEAN_FIXTURE_TRACE_SRC = """\
+void traced() {
+  trace::Span span("deposit");
+  trace::instant("marker");
+  trace::counter("mass-drift", 0.0);
+}
+"""
+
+# Matches CLEAN_FIXTURE_TRACE_SRC plus the one ScopedTimer bucket from
+# CLEAN_FIXTURE_SRC ("halo") — ScopedTimer buckets double as span names;
+# add()/add_sample() buckets ("fold-wait", "step") never reach the trace
+# and must NOT be required in KNOWN_EVENTS.
+CLEAN_FIXTURE_SUMMARY = """\
+KNOWN_EVENTS = {
+    "halo",
+    "deposit",
+    "marker",
+    "mass-drift",
+}
+"""
+
+SEEDED_VIOLATION_TRACE_SRC = """\
+void broken_traced() {
+  trace::Span span("unlisted-span");
+}
+"""
+
 
 def self_test():
     with tempfile.TemporaryDirectory() as tmp:
         os.makedirs(os.path.join(tmp, "src"))
         os.makedirs(os.path.join(tmp, "bench"))
+        os.makedirs(os.path.join(tmp, "tools"))
         with open(os.path.join(tmp, "src", "solver.cpp"), "w",
                   encoding="utf-8") as f:
             f.write(CLEAN_FIXTURE_SRC)
+        with open(os.path.join(tmp, "src", "traced.cpp"), "w",
+                  encoding="utf-8") as f:
+            f.write(CLEAN_FIXTURE_TRACE_SRC)
         with open(os.path.join(tmp, "bench", "report.cpp"), "w",
                   encoding="utf-8") as f:
             f.write(CLEAN_FIXTURE_BENCH)
+        with open(os.path.join(tmp, "tools", "trace_summary.py"), "w",
+                  encoding="utf-8") as f:
+            f.write(CLEAN_FIXTURE_SUMMARY)
         failures, _, _ = lint_tree(tmp)
-        if failures:
-            print(f"self-test FAIL: clean fixture flagged: {failures}")
+        trace_failures, _ = lint_trace_events(tmp)
+        if failures or trace_failures:
+            print("self-test FAIL: clean fixture flagged: "
+                  f"{failures} {trace_failures}")
             return 1
         with open(os.path.join(tmp, "bench", "broken.cpp"), "w",
                   encoding="utf-8") as f:
@@ -124,7 +224,23 @@ def self_test():
             print(f"self-test FAIL: flagged {sorted(got)}, expected "
                   "['halo-watt', 'steps']")
             return 1
-    print("self-test OK: 2 seeded phantom buckets caught, clean fixture clean")
+        # Seed trace violations in both directions: a span the contract
+        # does not list, and a contract entry nothing produces.
+        with open(os.path.join(tmp, "src", "broken_traced.cpp"), "w",
+                  encoding="utf-8") as f:
+            f.write(SEEDED_VIOLATION_TRACE_SRC)
+        with open(os.path.join(tmp, "tools", "trace_summary.py"), "w",
+                  encoding="utf-8") as f:
+            f.write(CLEAN_FIXTURE_SUMMARY.replace(
+                '    "marker",\n', '    "marker",\n    "ghost-event",\n'))
+        trace_failures, _ = lint_trace_events(tmp)
+        msgs = "\n".join(trace_failures)
+        if ("unlisted-span" not in msgs or "ghost-event" not in msgs
+                or len(trace_failures) != 2):
+            print(f"self-test FAIL: trace check flagged: {trace_failures}")
+            return 1
+    print("self-test OK: 2 seeded phantom buckets + 2 seeded trace "
+          "mismatches caught, clean fixtures clean")
     return 0
 
 
@@ -137,12 +253,17 @@ def main(argv):
     for rel, lineno, name in failures:
         print(f"FAIL {rel}:{lineno}: bucket \"{name}\" is read but never "
               "written by any ScopedTimer/add/add_sample in src/")
+    trace_failures, n_trace = lint_trace_events(root)
+    for msg in trace_failures:
+        print(f"FAIL {msg}")
     if failures:
         print(f"{len(failures)} phantom timer-bucket read(s); known buckets: "
               + ", ".join(sorted(produced)))
+    if failures or trace_failures:
         return 1
     print(f"OK   {len(consumed)} consumed bucket name(s) all have producers "
-          f"({len(produced)} produced)")
+          f"({len(produced)} produced); {n_trace} trace event name(s) match "
+          "KNOWN_EVENTS")
     return 0
 
 
