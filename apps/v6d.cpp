@@ -10,9 +10,15 @@
 // it — overrides there should stick to driver-control keys (a_final,
 // max_steps, wall_budget_s, checkpoint cadence) so the continuation stays
 // bit-identical with an uninterrupted run.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "common/options.hpp"
 #include "driver/driver.hpp"
@@ -33,6 +39,7 @@ int usage(std::FILE* out) {
                "             checkpoint_every, checkpoint_dir,\n"
                "             progress_every, perf_report, seed, box, nx,\n"
                "             nu, np, mnu, ranks, decomp\n"
+               "             spawn=N forks N local processes over TCP\n"
                "             (see docs/CONFIG.md for all)\n");
   return out == stdout ? 0 : 2;
 }
@@ -65,6 +72,64 @@ void print_summary(driver::Driver& d, const driver::RunResult& result) {
               d.solver().total_mass());
 }
 
+/// spawn=N: fork N copies of this binary, each re-running `command target`
+/// as one TCP rank of an N-process world, rendezvousing through a fresh
+/// temporary directory.  The parent only forks and waits — the rank-0
+/// child prints the run banner/summary.  Returns 0 iff every rank exited 0.
+int spawn_world(const std::string& command, const std::string& target,
+                const Options& options, int world) {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = std::string(base && *base ? base : "/tmp") +
+                    "/v6d-spawn-XXXXXX";
+  std::vector<char> tmpl(dir.begin(), dir.end());
+  tmpl.push_back('\0');
+  if (!::mkdtemp(tmpl.data())) {
+    std::fprintf(stderr, "v6d spawn: cannot create rendezvous dir %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  dir.assign(tmpl.data());
+
+  std::vector<pid_t> pids;
+  for (int r = 0; r < world; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("v6d spawn: fork");
+      break;  // wait for the ranks that did start; they will time out
+    }
+    if (pid == 0) {
+      std::vector<std::string> args = {"/proc/self/exe", command, target};
+      for (const auto& key : options.keys())
+        if (key != "spawn" && key != "transport" && key != "rank" &&
+            key != "world" && key != "transport_hosts")
+          args.push_back(key + "=" + options.get(key, ""));
+      args.push_back("transport=tcp");
+      args.push_back("rank=" + std::to_string(r));
+      args.push_back("world=" + std::to_string(world));
+      args.push_back("transport_hosts=" + dir);
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      std::perror("v6d spawn: execv");
+      std::_Exit(127);
+    }
+    pids.push_back(pid);
+  }
+
+  int exit_code = static_cast<int>(pids.size()) == world ? 0 : 1;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0)
+      exit_code = 1;
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return exit_code;
+}
+
 int cmd_run(const std::string& target, Options options) {
   // A bare registry name runs the scenario on its defaults; anything else
   // is a config file path.
@@ -77,23 +142,36 @@ int cmd_run(const std::string& target, Options options) {
       return 2;
     }
   }
+  const int spawn = options.get_int("spawn", 0);
+  if (spawn > 1) return spawn_world("run", target, options, spawn);
+
   driver::SimulationConfig cfg = driver::make_config(options);
-  std::printf("v6d run: scenario '%s', a = %.4f -> %.4f\n",
-              cfg.scenario.c_str(), cfg.a_init, cfg.a_final);
+  // In a multi-process world only the rank-0 process narrates; peers run
+  // silently (their stdout would interleave with the lead's).
+  const bool lead = cfg.transport != "tcp" || cfg.rank == 0;
+  if (lead)
+    std::printf("v6d run: scenario '%s', a = %.4f -> %.4f\n",
+                cfg.scenario.c_str(), cfg.a_init, cfg.a_final);
   driver::Driver d(cfg);
   const auto result = d.run();
-  print_summary(d, result);
+  if (lead) print_summary(d, result);
   return 0;
 }
 
 int cmd_resume(const std::string& dir, const Options& options) {
-  std::printf("v6d resume: %s\n", dir.c_str());
+  const int spawn = options.get_int("spawn", 0);
+  if (spawn > 1) return spawn_world("resume", dir, options, spawn);
+
+  const bool lead = options.get("transport", "inproc") != "tcp" ||
+                    options.get_int("rank", 0) == 0;
+  if (lead) std::printf("v6d resume: %s\n", dir.c_str());
   driver::Driver d = driver::Driver::resume(dir, options);
-  std::printf("  scenario '%s' at a = %.4f (step %lld), target a = %.4f\n",
-              d.config().scenario.c_str(), d.scale_factor(),
-              static_cast<long long>(d.step_count()), d.config().a_final);
+  if (lead)
+    std::printf("  scenario '%s' at a = %.4f (step %lld), target a = %.4f\n",
+                d.config().scenario.c_str(), d.scale_factor(),
+                static_cast<long long>(d.step_count()), d.config().a_final);
   const auto result = d.run();
-  print_summary(d, result);
+  if (lead) print_summary(d, result);
   return 0;
 }
 

@@ -20,6 +20,9 @@ int main(int argc, char** argv) {
   auto& opt = harness.options();
   harness.banner("Table 3 - weak scaling efficiencies",
                  "paper Table 3 and Fig. 7 left panel");
+  // The scaling runs execute over in-process thread ranks; recorded so
+  // baselines stay comparable per transport backend.
+  harness.context("transport", "inproc");
 
   // ---------------- (a) real runs: fixed per-rank brick ----------------
   {

@@ -1,33 +1,25 @@
+// Collectives over the transport seam.  Each one is built on the
+// Transport's staged-gather / bcast / alltoallv primitives; reductions
+// read the per-rank contributions in rank order, so the floating-point
+// results are bit-identical across backends (and identical to the
+// pre-seam in-process runtime).
 #include <algorithm>
 #include <cstring>
 
 #include "comm/communicator.hpp"
-#include "comm/context.hpp"
 
 namespace v6d::comm {
 
 namespace {
 
-// Every collective has the shape: publish local buffer, barrier, read
-// peers, barrier.  The trailing barrier keeps a fast rank from re-staging
-// before a slow one has finished reading.
-template <class Fn>
-void staged_collective(Context* ctx, int rank, const void* local,
-                       std::size_t bytes, Fn&& consume) {
-  ctx->stage(rank, local, bytes);
-  ctx->barrier().arrive_and_wait();
-  consume();
-  ctx->barrier().arrive_and_wait();
-}
-
 template <class T>
-void allreduce_sum_impl(Context* ctx, Communicator& comm, T* data,
+void allreduce_sum_impl(Transport* transport, int nranks, T* data,
                         std::size_t n) {
   std::vector<T> local(data, data + n);
-  staged_collective(ctx, comm.rank(), local.data(), n * sizeof(T), [&] {
+  transport->gather_all(local.data(), n * sizeof(T), [&](const StageView& v) {
     std::fill(data, data + n, T(0));
-    for (int r = 0; r < ctx->size(); ++r) {
-      const T* src = static_cast<const T*>(ctx->staged_ptr(r));
+    for (int r = 0; r < nranks; ++r) {
+      const T* src = static_cast<const T*>(v.data(r));
       for (std::size_t i = 0; i < n; ++i) data[i] += src[i];
     }
   });
@@ -36,21 +28,21 @@ void allreduce_sum_impl(Context* ctx, Communicator& comm, T* data,
 }  // namespace
 
 void Communicator::allreduce_sum(double* data, std::size_t n) {
-  allreduce_sum_impl(ctx_, *this, data, n);
+  allreduce_sum_impl(transport_, size(), data, n);
   bytes_sent_ += n * sizeof(double);
 }
 
 void Communicator::allreduce_sum(float* data, std::size_t n) {
-  allreduce_sum_impl(ctx_, *this, data, n);
+  allreduce_sum_impl(transport_, size(), data, n);
   bytes_sent_ += n * sizeof(float);
 }
 
 std::int64_t Communicator::allreduce_sum(std::int64_t x) {
   std::int64_t v = x;
-  staged_collective(ctx_, rank_, &v, sizeof(v), [&] {
+  transport_->gather_all(&v, sizeof(v), [&](const StageView& view) {
     x = 0;
-    for (int r = 0; r < ctx_->size(); ++r)
-      x += *static_cast<const std::int64_t*>(ctx_->staged_ptr(r));
+    for (int r = 0; r < size(); ++r)
+      x += *static_cast<const std::int64_t*>(view.data(r));
   });
   bytes_sent_ += sizeof(std::int64_t);
   return x;
@@ -58,9 +50,9 @@ std::int64_t Communicator::allreduce_sum(std::int64_t x) {
 
 double Communicator::allreduce_max(double x) {
   double v = x;
-  staged_collective(ctx_, rank_, &v, sizeof(v), [&] {
-    for (int r = 0; r < ctx_->size(); ++r)
-      x = std::max(x, *static_cast<const double*>(ctx_->staged_ptr(r)));
+  transport_->gather_all(&v, sizeof(v), [&](const StageView& view) {
+    for (int r = 0; r < size(); ++r)
+      x = std::max(x, *static_cast<const double*>(view.data(r)));
   });
   bytes_sent_ += sizeof(double);
   return x;
@@ -68,60 +60,50 @@ double Communicator::allreduce_max(double x) {
 
 double Communicator::allreduce_min(double x) {
   double v = x;
-  staged_collective(ctx_, rank_, &v, sizeof(v), [&] {
-    for (int r = 0; r < ctx_->size(); ++r)
-      x = std::min(x, *static_cast<const double*>(ctx_->staged_ptr(r)));
+  transport_->gather_all(&v, sizeof(v), [&](const StageView& view) {
+    for (int r = 0; r < size(); ++r)
+      x = std::min(x, *static_cast<const double*>(view.data(r)));
   });
   bytes_sent_ += sizeof(double);
   return x;
 }
 
 void Communicator::bcast_bytes(void* data, std::size_t bytes, int root) {
-  staged_collective(ctx_, rank_, data, bytes, [&] {
-    if (rank_ != root)
-      std::memcpy(data, ctx_->staged_ptr(root), bytes);
-  });
+  transport_->bcast(data, bytes, root);
   if (rank_ == root) bytes_sent_ += bytes;
 }
 
 void Communicator::allgather_bytes(const void* data, std::size_t bytes,
                                    void* out) {
-  staged_collective(ctx_, rank_, data, bytes, [&] {
+  transport_->gather_all(data, bytes, [&](const StageView& view) {
     auto* dst = static_cast<std::uint8_t*>(out);
-    for (int r = 0; r < ctx_->size(); ++r)
-      std::memcpy(dst + static_cast<std::size_t>(r) * bytes,
-                  ctx_->staged_ptr(r), bytes);
+    for (int r = 0; r < size(); ++r)
+      std::memcpy(dst + static_cast<std::size_t>(r) * bytes, view.data(r),
+                  bytes);
   });
   bytes_sent_ += bytes;
 }
 
 void Communicator::alltoall_bytes(const void* send, void* recv,
                                   std::size_t bytes_each) {
-  staged_collective(ctx_, rank_, send, bytes_each * ctx_->size(), [&] {
-    auto* dst = static_cast<std::uint8_t*>(recv);
-    for (int r = 0; r < ctx_->size(); ++r) {
-      const auto* src = static_cast<const std::uint8_t*>(ctx_->staged_ptr(r));
-      std::memcpy(dst + static_cast<std::size_t>(r) * bytes_each,
-                  src + static_cast<std::size_t>(rank_) * bytes_each,
-                  bytes_each);
-    }
-  });
-  bytes_sent_ += bytes_each * static_cast<std::size_t>(ctx_->size() - 1);
+  const int n = size();
+  transport_->gather_all(
+      send, bytes_each * static_cast<std::size_t>(n),
+      [&](const StageView& view) {
+        auto* dst = static_cast<std::uint8_t*>(recv);
+        for (int r = 0; r < n; ++r) {
+          const auto* src = static_cast<const std::uint8_t*>(view.data(r));
+          std::memcpy(dst + static_cast<std::size_t>(r) * bytes_each,
+                      src + static_cast<std::size_t>(rank_) * bytes_each,
+                      bytes_each);
+        }
+      });
+  bytes_sent_ += bytes_each * static_cast<std::size_t>(n - 1);
 }
 
 std::vector<std::vector<std::uint8_t>> Communicator::alltoallv(
     const std::vector<std::vector<std::uint8_t>>& send) {
-  const int n = ctx_->size();
-  std::vector<std::vector<std::uint8_t>> recv(static_cast<std::size_t>(n));
-  staged_collective(ctx_, rank_, &send, 0, [&] {
-    for (int r = 0; r < n; ++r) {
-      const auto* peer =
-          static_cast<const std::vector<std::vector<std::uint8_t>>*>(
-              ctx_->staged_ptr(r));
-      recv[static_cast<std::size_t>(r)] =
-          (*peer)[static_cast<std::size_t>(rank_)];
-    }
-  });
+  auto recv = transport_->alltoallv(send);
   for (const auto& buf : send) {
     bytes_sent_ += buf.size();
     if (!buf.empty()) ++messages_sent_;

@@ -4,23 +4,17 @@
 #include <stdexcept>
 #include <string>
 
-#include "comm/context.hpp"
-
 namespace v6d::comm {
 
-Communicator::Communicator(Context* ctx, int rank)
-    : ctx_(ctx),
-      rank_(rank),
-      bytes_to_(static_cast<std::size_t>(ctx->size()), 0),
-      msgs_to_(static_cast<std::size_t>(ctx->size()), 0) {}
-
-int Communicator::size() const { return ctx_->size(); }
+Communicator::Communicator(Transport& transport)
+    : transport_(&transport),
+      rank_(transport.rank()),
+      bytes_to_(static_cast<std::size_t>(transport.world()), 0),
+      msgs_to_(static_cast<std::size_t>(transport.world()), 0) {}
 
 void Communicator::send_bytes(int dest, int tag, const void* data,
                               std::size_t bytes) {
-  std::vector<std::uint8_t> payload(bytes);
-  std::memcpy(payload.data(), data, bytes);
-  ctx_->mailbox(dest).push(rank_, tag, std::move(payload));
+  transport_->send(dest, tag, data, bytes);
   bytes_sent_ += bytes;
   ++messages_sent_;
   bytes_to_[static_cast<std::size_t>(dest)] += bytes;
@@ -36,12 +30,12 @@ std::uint64_t Communicator::messages_sent_to(int dest) const {
 }
 
 MailboxStats Communicator::recv_stats() const {
-  return ctx_->mailbox(rank_).stats();
+  return transport_->inbox().stats();
 }
 
 std::pair<std::uint64_t, std::uint64_t> Communicator::received_from(
     int source) const {
-  return ctx_->mailbox(rank_).received_from(source);
+  return transport_->inbox().received_from(source);
 }
 
 void Communicator::reset_traffic_counters() {
@@ -52,22 +46,22 @@ void Communicator::reset_traffic_counters() {
 }
 
 std::vector<std::uint8_t> Communicator::recv_bytes(int source, int tag) {
-  return ctx_->mailbox(rank_).pop(source, tag);
+  return transport_->inbox().pop(source, tag);
 }
 
 bool Communicator::RecvHandle::ready() {
   if (done_) return true;
-  done_ = comm_->ctx_->mailbox(comm_->rank_).try_pop(source_, tag_, payload_);
+  done_ = comm_->transport_->inbox().try_pop(source_, tag_, payload_);
   return done_;
 }
 
 std::vector<std::uint8_t> Communicator::RecvHandle::wait() {
-  if (!done_) payload_ = comm_->ctx_->mailbox(comm_->rank_).pop(source_, tag_);
+  if (!done_) payload_ = comm_->transport_->inbox().pop(source_, tag_);
   done_ = false;  // spent: a reused handle must not return stale bytes
   return std::move(payload_);
 }
 
-void Communicator::barrier() { ctx_->barrier().arrive_and_wait(); }
+void Communicator::barrier() { transport_->barrier(); }
 
 void Communicator::throw_size_mismatch(std::size_t got, std::size_t want) {
   throw std::runtime_error("comm: recv size mismatch: got " +

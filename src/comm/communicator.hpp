@@ -1,12 +1,15 @@
-// Simulated MPI: an in-process message-passing runtime.
+// Simulated MPI: a message-passing runtime over pluggable transports.
 //
-// Substitutes for MPI on Fugaku (see DESIGN.md §2).  Ranks are threads of
-// one process; the API deliberately mirrors the MPI subset the paper's code
-// needs (blocking tagged p2p, barrier, allreduce, bcast, gather, alltoall,
-// Cartesian topology), so porting to real MPI is mechanical.  All traffic
-// is counted per rank, and the scaling benches feed those measured volumes
-// into the alpha-beta network model (perfmodel.hpp) to extrapolate to the
-// paper's node counts.
+// Substitutes for MPI on Fugaku (see DESIGN.md §2).  The API deliberately
+// mirrors the MPI subset the paper's code needs (blocking tagged p2p,
+// barrier, allreduce, bcast, gather, alltoall, Cartesian topology), so
+// porting to real MPI is mechanical.  What a "rank" physically is belongs
+// to the Transport underneath (transport.hpp): threads of one process
+// (InProcTransport, the default under comm::run) or one OS process per
+// rank over TCP sockets (TcpTransport, the `transport=tcp` driver path).
+// All traffic is counted per rank, and the scaling benches feed those
+// measured volumes into the alpha-beta network model (perfmodel.hpp) to
+// extrapolate to the paper's node counts.
 #pragma once
 
 #include <cstddef>
@@ -17,17 +20,18 @@
 #include <vector>
 
 #include "comm/mailbox.hpp"
+#include "comm/transport.hpp"
 
 namespace v6d::comm {
 
-class Context;
-
 class Communicator {
  public:
-  Communicator(Context* ctx, int rank);
+  /// Wrap one rank's transport endpoint.  The transport must outlive the
+  /// communicator (comm::run and the driver own both).
+  explicit Communicator(Transport& transport);
 
   int rank() const { return rank_; }
-  int size() const;
+  int size() const { return transport_->world(); }
 
   // ---- point-to-point (blocking, buffered sends) ----
   void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
@@ -98,6 +102,8 @@ class Communicator {
   void barrier();
 
   /// Element-wise sum-reduction of `n` values in place across all ranks.
+  /// Summation reads contributions in rank order on every backend, so the
+  /// floating-point result is bit-identical across transports.
   void allreduce_sum(double* data, std::size_t n);
   void allreduce_sum(float* data, std::size_t n);
   double allreduce_sum(double x) {
@@ -136,8 +142,9 @@ class Communicator {
 
   // ---- traffic accounting ----
   // Counts point-to-point traffic only: collectives move data through the
-  // barrier-synchronized pointer staging area, not the mailboxes, so they
-  // appear in neither the send counters nor the mailbox stats.
+  // transport's internal collective channel (the staging area in-process,
+  // internal frames over TCP), not the inbox mailbox, so they appear in
+  // neither the send counters nor the mailbox stats.
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
   /// (bytes, messages) this rank sent to `dest`.
@@ -149,11 +156,11 @@ class Communicator {
   /// (messages, bytes) this rank consumed that `source` sent it.
   std::pair<std::uint64_t, std::uint64_t> received_from(int source) const;
   /// Zero the send-side counters (benches isolate measured sections).
-  /// Mailbox stats are monotonic for the Context lifetime and are *not*
+  /// Mailbox stats are monotonic for the transport lifetime and are *not*
   /// reset — interval consumers take snapshots and subtract.
   void reset_traffic_counters();
 
-  Context* context() { return ctx_; }
+  Transport& transport() { return *transport_; }
 
  private:
   void allgather_bytes(const void* data, std::size_t bytes, void* out);
@@ -161,7 +168,7 @@ class Communicator {
   [[noreturn]] static void throw_size_mismatch(std::size_t got,
                                                std::size_t want);
 
-  Context* ctx_;
+  Transport* transport_;
   int rank_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
@@ -169,8 +176,9 @@ class Communicator {
   std::vector<std::uint64_t> msgs_to_;
 };
 
-/// Spawn `nranks` threads each running fn(comm).  Exceptions from rank
-/// threads are collected and the first is rethrown on the caller.
+/// Spawn `nranks` threads each running fn(comm) over the in-process
+/// transport.  Exceptions from rank threads are collected and the first is
+/// rethrown on the caller.
 void run(int nranks, const std::function<void(Communicator&)>& fn);
 
 }  // namespace v6d::comm

@@ -1,0 +1,56 @@
+#include "comm/faulty_transport.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace v6d::comm {
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 const FaultPlan& plan)
+    : inner_(std::move(inner)), plan_(plan), rng_(plan.seed) {}
+
+FaultyTransport::~FaultyTransport() = default;
+
+void FaultyTransport::send(int dest, int tag, const void* data,
+                           std::size_t bytes) {
+  const long n = sends_++;
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  if (plan_.disconnect_after >= 0 && n >= plan_.disconnect_after) {
+    // Crash simulation: the rank vanishes without ceremony.  fail_hard()
+    // leaves peers a dead (possibly mid-frame) connection to diagnose.
+    inner_->fail_hard();
+    throw TransportError("injected disconnect before send #" +
+                         std::to_string(n) + " to rank " +
+                         std::to_string(dest));
+  }
+  const bool drop =
+      (plan_.drop_after >= 0 && n == plan_.drop_after) ||
+      (plan_.drop_prob > 0.0 && uniform(rng_) < plan_.drop_prob);
+  if (drop) {
+    // A lost message must not strand its receiver in pop(): the only
+    // correct surface is a world abort — TransportError here, a clean
+    // AbortedError wherever a peer is parked.
+    inner_->abort();
+    throw TransportError("injected drop of send #" + std::to_string(n) +
+                         " to rank " + std::to_string(dest) + " (tag " +
+                         std::to_string(tag) + ")");
+  }
+  if (plan_.fail_send_after >= 0 && n == plan_.fail_send_after) {
+    // Short write: the frame went out truncated, so the channel is junk
+    // from here on.  Same abort surface as a drop — the bytes that did
+    // leave must never be delivered as a message.
+    inner_->abort();
+    throw TransportError("injected short write on send #" +
+                         std::to_string(n) + " to rank " +
+                         std::to_string(dest));
+  }
+  if (plan_.delay_prob > 0.0 && uniform(rng_) < plan_.delay_prob) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(plan_.delay_ms));
+  }
+  inner_->send(dest, tag, data, bytes);
+}
+
+}  // namespace v6d::comm

@@ -1,0 +1,90 @@
+// Fault-injection decorator for any Transport backend.
+//
+// Wraps an inner transport and perturbs the user send() path according to
+// a seeded FaultPlan: messages can be dropped before they reach the wire,
+// delayed, truncated ("short write"), or the rank can be disconnected
+// abruptly mid-job (inner->fail_hard(), simulating a crash).  Faults are
+// deterministic for a given (seed, call sequence), so a failing test case
+// replays exactly.
+//
+// Failure semantics mirror the real thing: a transport that loses a
+// message cannot deliver "most of it" or hang the receiver — the fault
+// aborts the world and surfaces as TransportError on the faulting rank
+// and AbortedError on every parked peer.  The conformance suite asserts
+// exactly that: clean errors, never hangs, never partial messages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+
+#include "comm/transport.hpp"
+
+namespace v6d::comm {
+
+/// What to inject and when.  Counters are per-wrapped-transport (i.e. per
+/// rank when used with LaunchOptions::wrap); -1 disables a trigger.
+struct FaultPlan {
+  std::uint64_t seed = 0x5eed;
+  /// Probability [0,1] that any given send() is dropped (then aborts).
+  double drop_prob = 0.0;
+  /// Drop (and abort) on the Nth send(), 0-based.  -1 = never.
+  long drop_after = -1;
+  /// Probability [0,1] that a send() is delayed by delay_ms first.
+  double delay_prob = 0.0;
+  double delay_ms = 1.0;
+  /// Simulate a short write on the Nth send(): the message is lost
+  /// mid-frame and the world aborts.  -1 = never.
+  long fail_send_after = -1;
+  /// Abrupt disconnect (inner->fail_hard()) on the Nth send() — peers see
+  /// a dead connection, possibly with a partial frame.  -1 = never.
+  long disconnect_after = -1;
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  FaultyTransport(std::unique_ptr<Transport> inner, const FaultPlan& plan);
+  ~FaultyTransport() override;
+
+  const char* name() const override { return "faulty"; }
+  int rank() const override { return inner_->rank(); }
+  int world() const override { return inner_->world(); }
+
+  /// Applies the fault plan, then forwards.  Injected drops/short-writes
+  /// abort the world and throw TransportError; an injected disconnect
+  /// calls inner->fail_hard() and throws TransportError.
+  void send(int dest, int tag, const void* data, std::size_t bytes) override;
+  Mailbox& inbox() override { return inner_->inbox(); }
+
+  // Collectives and control flow pass through untouched: the plan targets
+  // the p2p data path, where loss is observable per message.
+  void barrier() override { inner_->barrier(); }
+  void gather_all(
+      const void* local, std::size_t bytes,
+      const std::function<void(const StageView&)>& consume) override {
+    inner_->gather_all(local, bytes, consume);
+  }
+  void bcast(void* data, std::size_t bytes, int root) override {
+    inner_->bcast(data, bytes, root);
+  }
+  std::vector<std::vector<std::uint8_t>> alltoallv(
+      const std::vector<std::vector<std::uint8_t>>& send) override {
+    return inner_->alltoallv(send);
+  }
+
+  void abort() noexcept override { inner_->abort(); }
+  bool aborted() const override { return inner_->aborted(); }
+  void fail_hard() noexcept override { inner_->fail_hard(); }
+  void shutdown() override { inner_->shutdown(); }
+
+  /// Number of send() calls observed so far (fired or not).
+  long sends_seen() const { return sends_; }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  FaultPlan plan_;
+  std::mt19937_64 rng_;
+  long sends_ = 0;
+};
+
+}  // namespace v6d::comm

@@ -1,0 +1,137 @@
+// TCP transport backend: one OS process (or thread, in tests) per rank,
+// length-prefixed frames over nonblocking sockets.
+//
+// Modeled on active-message queues over sendrecv (DASH's
+// dart_active_messages_sendrecv): every message travels as one frame —
+// fixed header (magic, kind, tag, payload length) followed by the payload
+// — over a persistent full-mesh of connections, and a per-rank receiver
+// thread reassembles frames and delivers them into the same tag-matched
+// Mailbox the in-process backend uses.  That keeps the entire blocking /
+// abort / FIFO-per-peer contract in one place (mailbox.hpp) and makes the
+// wire path byte-for-byte interchangeable with thread ranks.
+//
+// Rendezvous: `hosts` is either an explicit "host:port,host:port,..."
+// listen list (entry r = rank r's address — multi-host capable, e.g. via
+// the V6D_TRANSPORT_HOSTS environment variable) or a shared directory
+// path: each rank binds an ephemeral loopback port and publishes it as
+// `<dir>/rank.<r>` (atomic rename), then polls for its peers' files.
+// Connections are dialed with exponential backoff until `timeout_s` —
+// ranks of a job never start simultaneously.
+//
+// Topology: rank r dials every lower rank and accepts from every higher
+// rank, identifying itself with a hello frame; connects go strictly
+// downward while accepts come strictly from ranks still dialing, so
+// the mesh setup cannot deadlock.  Sends are written directly by the
+// calling thread (serialized per peer); the receiver thread always
+// drains, so two ranks flooding each other cannot wedge on full kernel
+// buffers.
+//
+// Failure model: abort() broadcasts an abort frame and wakes local
+// waiters; a peer that disappears without a goodbye frame (EOF or reset
+// mid-stream) aborts the world — a partially received frame is discarded,
+// never delivered, so a crashed peer surfaces as AbortedError, not as a
+// truncated message.  shutdown() exchanges goodbye frames so clean exits
+// are distinguishable from crashes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace v6d::comm {
+
+struct TcpOptions {
+  int rank = -1;
+  int world = 0;
+  /// "host:port,..." listen list or rendezvous directory (see above).
+  std::string hosts;
+  /// Rendezvous + connect + graceful-teardown budget.
+  double timeout_s = 60.0;
+  /// Ceiling of the exponential connect backoff.
+  double backoff_max_ms = 100.0;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds, rendezvouses, dials the mesh and starts the receiver thread.
+  /// Throws TransportError when the mesh cannot be established within
+  /// options.timeout_s.
+  explicit TcpTransport(const TcpOptions& options);
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  const char* name() const override { return "tcp"; }
+  int rank() const override { return rank_; }
+  int world() const override { return world_; }
+
+  void send(int dest, int tag, const void* data, std::size_t bytes) override;
+  Mailbox& inbox() override { return inbox_; }
+
+  void barrier() override;
+  void gather_all(
+      const void* local, std::size_t bytes,
+      const std::function<void(const StageView&)>& consume) override;
+  void bcast(void* data, std::size_t bytes, int root) override;
+  std::vector<std::vector<std::uint8_t>> alltoallv(
+      const std::vector<std::vector<std::uint8_t>>& send) override;
+
+  void abort() noexcept override;
+  bool aborted() const override {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  void fail_hard() noexcept override;
+  void shutdown() override;
+
+  /// The port this rank's listener bound (useful with ephemeral ports).
+  int port() const { return port_; }
+
+ private:
+  struct PeerRx;  // per-peer frame reassembly state (tcp_transport.cpp)
+
+  void connect_mesh(const TcpOptions& options);
+  void receiver_loop();
+  /// Frame write with per-peer serialization; returns false once the
+  /// world aborted mid-write.  Throws TransportError on channel failure
+  /// (after aborting the world).
+  bool write_frame(int dest, std::uint8_t kind, int tag, const void* data,
+                   std::size_t bytes);
+  void internal_send(int dest, int tag, const void* data, std::size_t bytes);
+  std::vector<std::uint8_t> internal_pop(int source, int tag);
+  /// Receiver-side failure: abort the world, remembering `why` so the
+  /// next blocking caller can surface a descriptive TransportError.
+  void remote_abort(const std::string& why) noexcept;
+  void wake_receiver() noexcept;
+  void close_all() noexcept;
+
+  int rank_ = -1;
+  int world_ = 0;
+  int port_ = 0;
+  double timeout_s_ = 60.0;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};        // self-pipe: wakes the poll loop
+  std::vector<int> peer_fd_;           // [world]; own rank = -1
+  std::vector<std::unique_ptr<std::mutex>> send_mutex_;  // per peer
+
+  Mailbox inbox_;      // user p2p channel (Communicator traffic counters)
+  Mailbox internal_;   // collective/control channel (never in user stats)
+  std::atomic<bool> aborted_{false};
+  std::atomic<std::uint32_t> op_seq_{0};  // collective sequence tags
+
+  std::mutex state_mutex_;             // guards bye_seen_ / abort_why_
+  std::condition_variable state_cv_;
+  std::vector<bool> bye_seen_;         // peer sent its goodbye frame
+  std::string abort_why_;
+  std::atomic<bool> shutting_down_{false};
+  bool shutdown_done_ = false;
+  std::thread receiver_;
+};
+
+}  // namespace v6d::comm

@@ -1,0 +1,8 @@
+#include "comm/transport.hpp"
+
+namespace v6d::comm {
+
+// Out-of-line key function: anchors the vtable in one TU.
+Transport::~Transport() = default;
+
+}  // namespace v6d::comm

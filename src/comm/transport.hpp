@@ -1,0 +1,125 @@
+// The byte-level transport seam under the simulated-MPI runtime.
+//
+// Communicator (communicator.hpp) implements the MPI-shaped API — typed
+// sends, collectives, traffic accounting — but everything that actually
+// *moves bytes between ranks* goes through this interface.  A Transport is
+// one rank's endpoint into a world of `world()` peers; backends decide what
+// a "peer" is:
+//
+//   * InProcTransport (inproc_transport.hpp) — today's thread ranks inside
+//     one process, sharing a Context of mailboxes, a generation barrier and
+//     a zero-copy pointer staging area.  Bit-identical in behaviour and
+//     performance to the pre-seam runtime.
+//   * TcpTransport (tcp_transport.hpp) — one OS process per rank,
+//     length-prefixed frames over nonblocking loopback/LAN sockets, so the
+//     same solver spans address spaces.
+//   * FaultyTransport (faulty_transport.hpp) — a decorator injecting
+//     seeded faults (drops, delays, short writes, disconnects) to prove the
+//     comm layer degrades to clean errors instead of hangs or corruption.
+//
+// Contract highlights (the conformance suite in tests/test_transport.cpp
+// asserts these on every backend):
+//   * send() is buffered and non-blocking with respect to the receiver: a
+//     rank may send arbitrarily many messages before the peer receives any
+//     (framing/queueing must absorb them), so periodic exchange rings
+//     cannot deadlock.
+//   * Messages between a fixed (source, dest) pair arrive in send order
+//     for a given tag (MPI's non-overtaking rule); delivery lands in the
+//     destination's inbox() Mailbox, which owns tag matching and the
+//     blocking/abort semantics.
+//   * Collectives must be called by every rank in matching order.  They
+//     move data on an internal channel that never appears in inbox()
+//     stats (mirrors the in-process staging area's accounting).
+//   * abort() is noexcept, idempotent, callable from any thread, and must
+//     wake every rank parked in a blocking receive or collective — local
+//     *and* remote — with AbortedError.  A transport that detects a dead
+//     peer (disconnect without goodbye, framing violation) aborts itself;
+//     a partially transferred message is never delivered.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+
+namespace v6d::comm {
+
+/// Thrown by transport operations that fail for transport-level reasons
+/// (peer unreachable, connection lost, framing violation, injected
+/// fault).  Distinct from AbortedError: a TransportError identifies the
+/// *first* failure, AbortedError the secondary wakeups it causes.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what)
+      : std::runtime_error("transport: " + what) {}
+};
+
+/// Read-only view of every rank's contribution to a staged collective.
+/// Pointers are valid only inside the gather_all() consume callback.
+class StageView {
+ public:
+  virtual ~StageView() = default;
+  virtual const void* data(int rank) const = 0;
+  virtual std::size_t size(int rank) const = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport();
+
+  /// Backend identifier ("inproc", "tcp", ...), recorded in perf-report
+  /// contexts so bench baselines are comparable per transport.
+  virtual const char* name() const = 0;
+  virtual int rank() const = 0;
+  virtual int world() const = 0;
+
+  // ---- rank-addressed point-to-point bytes ----
+  /// Buffered send of `bytes` to `dest`'s inbox under `tag`.  Never blocks
+  /// on the receiver; throws AbortedError after an abort, TransportError
+  /// when the underlying channel fails (and aborts the world first, so
+  /// peers cannot hang on the missing message).  dest == rank() loops back
+  /// through the local inbox.
+  virtual void send(int dest, int tag, const void* data,
+                    std::size_t bytes) = 0;
+  /// The local rank's tag-matched receive side.  All blocking/abort
+  /// semantics live in Mailbox (see mailbox.hpp).
+  virtual Mailbox& inbox() = 0;
+
+  // ---- collectives (matching call order on every rank) ----
+  virtual void barrier() = 0;
+  /// Staged collective: contribute `bytes` bytes at `local`, then run
+  /// `consume` with a view of every rank's contribution (all ranks
+  /// contribute the same byte count; rank order of reads is up to the
+  /// consumer, which is what keeps floating-point reductions bit-identical
+  /// across backends).  `local` stays valid for the whole call.
+  virtual void gather_all(
+      const void* local, std::size_t bytes,
+      const std::function<void(const StageView&)>& consume) = 0;
+  /// Broadcast root's `bytes` bytes into every rank's `data`.
+  virtual void bcast(void* data, std::size_t bytes, int root) = 0;
+  /// Personalized variable all-to-all: block i of `send` goes to rank i,
+  /// block j of the result arrived from rank j.
+  virtual std::vector<std::vector<std::uint8_t>> alltoallv(
+      const std::vector<std::vector<std::uint8_t>>& send) = 0;
+
+  // ---- failure propagation / teardown ----
+  /// Mark the world dead and wake every parked rank, local and remote.
+  /// noexcept, idempotent, thread-safe (see mailbox.hpp for the abort-flag
+  /// memory-order contract the backends must preserve).
+  virtual void abort() noexcept = 0;
+  virtual bool aborted() const = 0;
+  /// Die abruptly, as a crashing process would: no goodbye, connections
+  /// dropped (for TcpTransport: mid-frame, so peers exercise the
+  /// short-read path).  Fault-injection hook; default = abort().
+  virtual void fail_hard() noexcept { abort(); }
+  /// Graceful teardown: flush goodbyes so peers can distinguish a clean
+  /// exit from a crash.  Idempotent; default no-op (in-process ranks junk
+  /// their Context wholesale).
+  virtual void shutdown() {}
+};
+
+}  // namespace v6d::comm

@@ -54,6 +54,10 @@ void SimulationConfig::apply(const Options& options) {
   ranks = options.get_int("ranks", ranks);
   decomp = options.get("decomp", decomp);
   overlap = options.get_bool("overlap", overlap);
+  transport = options.get("transport", transport);
+  rank = options.get_int("rank", rank);
+  world = options.get_int("world", world);
+  transport_hosts = options.get("transport_hosts", transport_hosts);
 
   max_steps = options.get_int("max_steps", max_steps);
   checkpoint_every = options.get_int("checkpoint_every", checkpoint_every);
@@ -87,6 +91,10 @@ std::map<std::string, std::string> SimulationConfig::to_kv() const {
   kv["ranks"] = fmt_int(ranks);
   kv["decomp"] = decomp;
   kv["overlap"] = fmt_int(overlap ? 1 : 0);
+  kv["transport"] = transport;
+  kv["rank"] = fmt_int(rank);
+  kv["world"] = fmt_int(world);
+  kv["transport_hosts"] = transport_hosts;
   kv["max_steps"] = fmt_int(max_steps);
   kv["checkpoint_every"] = fmt_int(checkpoint_every);
   kv["checkpoint_dir"] = checkpoint_dir;

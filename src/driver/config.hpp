@@ -44,6 +44,16 @@ struct SimulationConfig {
   // --- distributed execution ---
   int ranks = 1;              // simulated MPI ranks; > 1 runs the
                               // distributed path (src/parallel/)
+  std::string transport = "inproc";  // "inproc" = thread ranks in this
+                                     // process; "tcp" = this process is ONE
+                                     // rank of a multi-process world
+  int rank = 0;               // this process's rank (transport=tcp)
+  int world = 0;              // total processes (transport=tcp); overrides
+                              // `ranks` when set
+  std::string transport_hosts = "";  // tcp rendezvous: "host:port,..." list
+                                     // (entry r = rank r) or a shared
+                                     // directory path (env fallback
+                                     // V6D_TRANSPORT_HOSTS)
   std::string decomp = "";    // "DXxDYxDZ" rank topology ("" / "auto" =
                               // pick the most-cubic feasible split)
   bool overlap = true;        // hide halo/fold/slab communication behind

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "comm/runner.hpp"
+#include "comm/tcp_transport.hpp"
 #include "common/trace.hpp"
 #include "driver/driver.hpp"
 #include "driver/telemetry.hpp"
@@ -165,6 +166,12 @@ RunResult Driver::run_distributed() {
   const auto dims = resolve_run_decomp(cfg_, *solver_);
   Stopwatch wall;
 
+  // transport=tcp means this process IS one rank of a multi-process world:
+  // no thread fan-out, one endpoint, and anything that would clobber a
+  // shared file (telemetry, traces, reports) belongs to the rank-0 process.
+  const bool multiproc = cfg_.transport == "tcp";
+  const bool lead_process = !multiproc || cfg_.rank == 0;
+
   // Tracing is armed before the rank threads exist and flushed after they
   // join — the control-plane quiescence the trace buffers require.
   if (!cfg_.trace.empty()) {
@@ -173,19 +180,24 @@ RunResult Driver::run_distributed() {
   }
   // The heartbeat needs collectives (global mass, comm-byte allreduce), so
   // the *decision* to emit it must be uniform across ranks; only the lead
-  // rank owns the stream and writes rows.
+  // rank owns the stream and writes rows (in a multi-process world, only
+  // the lead process may even open the path — a peer's open would truncate
+  // the lead's stream).
   const bool heartbeat = !cfg_.telemetry.empty();
   TelemetryStream telemetry;
-  if (heartbeat) {
+  if (heartbeat && lead_process) {
     std::string error;
     if (!telemetry.open(cfg_.telemetry, &error))
       throw std::runtime_error(error);
   }
 
-  comm::run(cfg_.ranks, [&](comm::Communicator& comm) {
+  const auto rank_body = [&](comm::Communicator& comm) {
     trace::set_rank(comm.rank());
     parallel::DistributedHybridSolver ds(*solver_, comm, dims, cfg_.overlap);
     const bool lead = comm.rank() == 0;
+    // Thread ranks share one Driver, so only the lead writes its fields;
+    // process ranks each own their Driver and keep it coherent locally.
+    const bool own_driver = lead || multiproc;
     double a = a_;
     std::int64_t steps = steps_;
     int steps_here = 0;
@@ -222,7 +234,7 @@ RunResult Driver::run_distributed() {
       {
         Stopwatch control;
         a1 = std::min(ds.suggest_next_a(a, cfg_.da_max), cfg_.a_final);
-        if (lead) timers_.add("step-control", control.seconds());
+        if (own_driver) timers_.add("step-control", control.seconds());
       }
       std::map<std::string, double> phases_before;
       if (heartbeat && lead) phases_before = timer_totals(ds.timers());
@@ -232,7 +244,7 @@ RunResult Driver::run_distributed() {
         Stopwatch step_watch;
         ds.step(a, a1);
         step_seconds = step_watch.seconds();
-        if (lead) timers_.add_sample("step", step_seconds);
+        if (own_driver) timers_.add_sample("step", step_seconds);
       }
       trace::counter("comm-bytes-sent",
                      static_cast<double>(comm.bytes_sent()));
@@ -274,20 +286,22 @@ RunResult Driver::run_distributed() {
           steps % cfg_.checkpoint_every == 0) {
         Stopwatch ckpt;
         checkpoint_all();
-        if (lead) timers_.add("checkpoint-io", ckpt.seconds());
+        if (own_driver) timers_.add("checkpoint-io", ckpt.seconds());
       }
     }
 
     if (early && !cfg_.checkpoint_dir.empty()) {
       Stopwatch ckpt;
       checkpoint_all();
-      if (lead) timers_.add("checkpoint-io", ckpt.seconds());
+      if (own_driver) timers_.add("checkpoint-io", ckpt.seconds());
     }
 
     // Fold the evolved state back into the global solver so accessors,
     // serial checkpoints, and perf reports see the distributed result.
-    ds.gather_into(*solver_);
-    if (lead) {
+    // Across processes the bricks travel as messages and only the rank-0
+    // process assembles a global view.
+    ds.gather_into(*solver_, multiproc);
+    if (own_driver) {
       a_ = a;
       steps_ = steps;
       result.reason = reason;
@@ -295,12 +309,68 @@ RunResult Driver::run_distributed() {
       result.checkpoint = checkpoint_written;
       solver_->timers().merge(ds.timers());
     }
-  });
+
+    if (multiproc && !cfg_.trace.empty()) {
+      // One merged Chrome trace, exactly like the thread-rank path: every
+      // process ships its (POD) event buffer to rank 0 over the transport
+      // — all plan traffic has drained (gather_into ends in a barrier), so
+      // the tag cannot collide with live traffic.
+      constexpr int kTraceTag = 0x7ace;
+      trace::disable();
+      auto events = trace::collect();
+      if (lead) {
+        for (int r = 1; r < comm.size(); ++r) {
+          const auto blob = comm.recv_bytes(r, kTraceTag);
+          const std::size_t n = blob.size() / sizeof(trace::Event);
+          const std::size_t at = events.size();
+          events.resize(at + n);
+          std::memcpy(events.data() + at, blob.data(),
+                      n * sizeof(trace::Event));
+        }
+        std::string error;
+        if (!trace::write_chrome_trace(cfg_.trace, events, &error))
+          throw std::runtime_error("cannot write trace: " + error);
+      } else {
+        comm.send_bytes(0, kTraceTag, events.data(),
+                        events.size() * sizeof(trace::Event));
+      }
+      trace::reset();
+      comm.barrier();
+    }
+  };
+
+  if (multiproc) {
+    comm::TcpOptions tcp_options;
+    tcp_options.rank = cfg_.rank;
+    tcp_options.world = cfg_.world;
+    tcp_options.hosts = cfg_.transport_hosts;
+    comm::TcpTransport transport(tcp_options);
+    comm::Communicator comm(transport);
+    try {
+      rank_body(comm);
+    } catch (...) {
+      transport.abort();  // wake remote peers parked on this rank
+      throw;
+    }
+    transport.shutdown();
+  } else {
+    comm::run(cfg_.ranks, rank_body);
+  }
 
   result.a = a_;
   result.total_steps = steps_;
-  if (!cfg_.perf_report.empty()) write_perf_report(cfg_.perf_report);
-  if (!cfg_.trace.empty()) write_trace_file(cfg_.trace);
+  if (lead_process && !cfg_.perf_report.empty())
+    write_perf_report(cfg_.perf_report);
+  // The multi-process trace was merged and written inside rank_body (it
+  // needs the transport); the thread-rank path flushes here, after join.
+  if (!cfg_.trace.empty()) {
+    if (multiproc) {
+      trace::disable();
+      trace::reset();
+    } else {
+      write_trace_file(cfg_.trace);
+    }
+  }
   return result;
 }
 

@@ -32,6 +32,24 @@ Driver::Driver(const SimulationConfig& cfg) : Driver(cfg, /*with_ics=*/true) {}
 
 Driver::Driver(const SimulationConfig& cfg, bool with_ics)
     : cfg_(cfg), rng_(cfg.seed), a_(cfg.a_init) {
+  if (cfg_.transport == "tcp") {
+    // This process is one rank of a multi-process world: every process
+    // builds the same global problem (same seed -> same ICs) and the
+    // distributed path shards it by cfg_.rank.
+    if (cfg_.world <= 0)
+      throw std::invalid_argument(
+          "transport=tcp requires world=N (total processes)");
+    if (cfg_.rank < 0 || cfg_.rank >= cfg_.world)
+      throw std::invalid_argument("transport=tcp requires 0 <= rank < world");
+    if (cfg_.transport_hosts.empty())
+      throw std::invalid_argument(
+          "transport=tcp requires transport_hosts= (a host:port,... list or "
+          "a shared rendezvous directory; env V6D_TRANSPORT_HOSTS works too)");
+    cfg_.ranks = cfg_.world;
+  } else if (cfg_.transport != "inproc") {
+    throw std::invalid_argument("unknown transport '" + cfg_.transport +
+                                "' (expected inproc or tcp)");
+  }
   const Scenario* scenario = find_scenario(cfg_.scenario);
   if (!scenario)
     throw std::invalid_argument("unknown scenario: " + cfg_.scenario);
@@ -128,7 +146,7 @@ void Driver::write_checkpoint(const std::string& dir) const {
 }
 
 RunResult Driver::run() {
-  if (cfg_.ranks > 1) return run_distributed();
+  if (cfg_.ranks > 1 || cfg_.transport == "tcp") return run_distributed();
   if (!cfg_.trace.empty()) {
     trace::reset();
     trace::enable();
@@ -235,6 +253,7 @@ void Driver::write_perf_report(const std::string& path) const {
   report.context["a"] = std::to_string(a_);
   report.context["steps"] = std::to_string(static_cast<long long>(steps_));
   report.context["ranks"] = std::to_string(cfg_.ranks);
+  report.context["transport"] = cfg_.transport;
 
   // Driver buckets (step / step-control / checkpoint-io) and the solver's
   // force/sweep buckets (vlasov / pm / tree / vlasov-moments) share one

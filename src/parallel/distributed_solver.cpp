@@ -632,8 +632,11 @@ void DistributedHybridSolver::import_step_forces_global(
   forces_fresh_ = true;
 }
 
-void DistributedHybridSolver::gather_into(hybrid::HybridSolver& global) {
-  if (has_nu_) {
+void DistributedHybridSolver::gather_into(hybrid::HybridSolver& global,
+                                          bool via_messages) {
+  if (has_nu_ && !via_messages) {
+    // Thread ranks share the global solver: each writes its own disjoint
+    // brick in place.
     vlasov::PhaseSpace& gf = global.neutrinos();
     const std::size_t bytes = gf.block_size() * sizeof(float);
     for (int i = 0; i < dec_.local_n(0); ++i)
@@ -642,6 +645,65 @@ void DistributedHybridSolver::gather_into(hybrid::HybridSolver& global) {
           std::memcpy(gf.block(dec_.offset(0) + i, dec_.offset(1) + j,
                                dec_.offset(2) + k),
                       f_.block(i, j, k), bytes);
+  } else if (has_nu_) {
+    // Process ranks do not: ship each brick to rank 0 as one message —
+    // [6 x int32 placement header][blocks in i,j,k order] — and let rank 0
+    // place them by the sender's own offsets (mirrors the shard-resume
+    // placement logic, so the two paths agree on layout).
+    constexpr int kGatherTag = 0x6a7;
+    const std::size_t block_floats = f_.block_size();
+    const auto pack = [&](std::vector<std::uint8_t>& buf) {
+      const std::int32_t header[6] = {dec_.offset(0), dec_.offset(1),
+                                      dec_.offset(2), dec_.local_n(0),
+                                      dec_.local_n(1), dec_.local_n(2)};
+      const std::size_t bytes = block_floats * sizeof(float);
+      buf.resize(sizeof(header) + static_cast<std::size_t>(dec_.local_n(0)) *
+                                      dec_.local_n(1) * dec_.local_n(2) *
+                                      bytes);
+      std::memcpy(buf.data(), header, sizeof(header));
+      std::size_t at = sizeof(header);
+      for (int i = 0; i < dec_.local_n(0); ++i)
+        for (int j = 0; j < dec_.local_n(1); ++j)
+          for (int k = 0; k < dec_.local_n(2); ++k) {
+            std::memcpy(buf.data() + at, f_.block(i, j, k), bytes);
+            at += bytes;
+          }
+    };
+    if (comm_.rank() == 0) {
+      vlasov::PhaseSpace& gf = global.neutrinos();
+      const std::size_t bytes = gf.block_size() * sizeof(float);
+      for (int i = 0; i < dec_.local_n(0); ++i)
+        for (int j = 0; j < dec_.local_n(1); ++j)
+          for (int k = 0; k < dec_.local_n(2); ++k)
+            std::memcpy(gf.block(dec_.offset(0) + i, dec_.offset(1) + j,
+                                 dec_.offset(2) + k),
+                        f_.block(i, j, k), bytes);
+      for (int r = 1; r < comm_.size(); ++r) {
+        const auto buf = comm_.recv_bytes(r, kGatherTag);
+        std::int32_t header[6];
+        if (buf.size() < sizeof(header))
+          throw std::runtime_error("gather_into: truncated brick message");
+        std::memcpy(header, buf.data(), sizeof(header));
+        std::size_t at = sizeof(header);
+        if (buf.size() != sizeof(header) +
+                              static_cast<std::size_t>(header[3]) *
+                                  header[4] * header[5] * bytes)
+          throw std::runtime_error("gather_into: brick message size "
+                                   "disagrees with its placement header");
+        for (int i = 0; i < header[3]; ++i)
+          for (int j = 0; j < header[4]; ++j)
+            for (int k = 0; k < header[5]; ++k) {
+              std::memcpy(gf.block(header[0] + i, header[1] + j,
+                                   header[2] + k),
+                          buf.data() + at, bytes);
+              at += bytes;
+            }
+      }
+    } else {
+      std::vector<std::uint8_t> buf;
+      pack(buf);
+      comm_.send_bytes(0, kGatherTag, buf.data(), buf.size());
+    }
   }
   const auto forces = export_step_forces_global();  // collective
   if (comm_.rank() == 0) {

@@ -110,8 +110,11 @@ class DistributedHybridSolver {
 
   /// Write the evolved state back into the global solver: every rank
   /// copies its f brick (disjoint), rank 0 restores particles and the
-  /// force cache (collective).
-  void gather_into(hybrid::HybridSolver& global);
+  /// force cache (collective).  With `via_messages` the ranks do not share
+  /// the global solver's address space (multi-process transports): bricks
+  /// travel to rank 0 as point-to-point messages and only rank 0's
+  /// `global` is assembled — the other ranks' globals are left untouched.
+  void gather_into(hybrid::HybridSolver& global, bool via_messages = false);
 
   TimerRegistry& timers() { return timers_; }
 

@@ -19,6 +19,7 @@
 
 #include "comm/cart.hpp"
 #include "comm/communicator.hpp"
+#include "comm/faulty_transport.hpp"
 #include "comm/runner.hpp"
 #include "common/rng.hpp"
 #include "fft/parallel_fft.hpp"
@@ -494,6 +495,104 @@ TEST(CommStress, AbortMidPlanOverlapWakesFinishers) {
     } catch (const std::runtime_error& e) {
       EXPECT_STREQ(e.what(), "overlap rank died");
     }
+  }
+}
+
+// ---- storms over the transport seam ------------------------------------
+// The same pressure the suites above apply to comm::run, pushed through
+// run_transport + LaunchOptions::wrap so the Transport indirection and the
+// FaultyTransport decorator sit on the hot path under TSan.
+
+// Message storm through wrapped endpoints: every rank's transport is
+// decorated with seeded random delays, which perturb thread schedules far
+// more than the bare storm (sends park mid-flight while receivers spin).
+TEST_P(CommStressRanks, MessageStormOverTransportSeamWithDelays) {
+  const int p = GetParam();
+  constexpr int kMessages = 24;
+  LaunchOptions options;  // inproc: the storm exercises the seam itself
+  options.wrap = [](std::unique_ptr<Transport> inner, int rank) {
+    FaultPlan plan;
+    plan.seed = 0xde1a + static_cast<std::uint64_t>(rank);
+    plan.delay_prob = 0.15;
+    plan.delay_ms = 0.2;
+    return std::unique_ptr<Transport>(
+        new FaultyTransport(std::move(inner), plan));
+  };
+  run_transport(p, options, [&](Communicator& comm) {
+    const int me = comm.rank();
+    EXPECT_STREQ(comm.transport().name(), "faulty");
+    for (int s = 0; s < kMessages; ++s)
+      for (int dst = 0; dst < p; ++dst) {
+        if (dst == me) continue;
+        std::vector<std::uint8_t> payload(storm_size(me, dst, s));
+        for (std::size_t i = 0; i < payload.size(); ++i)
+          payload[i] = storm_byte(me, s, i);
+        comm.send(dst, 300, payload.data(), payload.size());
+      }
+    // Collectives interleave with the drain (they ride the transport's
+    // internal channel, so they must not perturb inbox FIFO order).
+    double sum = me;
+    comm.allreduce_sum(&sum, 1);
+    EXPECT_DOUBLE_EQ(sum, p * (p - 1) / 2.0);
+    for (int src = 0; src < p; ++src) {
+      if (src == me) continue;
+      for (int s = 0; s < kMessages; ++s) {
+        const auto payload = comm.recv_bytes(src, 300);
+        ASSERT_EQ(payload.size(), storm_size(src, me, s));
+        for (std::size_t i = 0; i < payload.size(); ++i)
+          ASSERT_EQ(payload[i], storm_byte(src, s, i));
+      }
+    }
+    comm.barrier();
+  });
+}
+
+// A seeded drop lands mid-storm on one wrapped rank while its peers are
+// parked across recv / handle-wait / barrier; every schedule must end in
+// the decorator's TransportError — never a hang, never a leaked
+// AbortedError.
+TEST(CommStress, InjectedDropMidStormAbortsEverySchedule) {
+  constexpr int p = 4;
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    const int victim = static_cast<int>(round % p);
+    LaunchOptions options;
+    options.wrap = [&](std::unique_ptr<Transport> inner, int rank) {
+      if (rank != victim) return inner;
+      FaultPlan plan;
+      plan.seed = 0xd809 + round;
+      plan.drop_after = static_cast<long>(round % 5);
+      return std::unique_ptr<Transport>(
+          new FaultyTransport(std::move(inner), plan));
+    };
+    EXPECT_THROW(
+        run_transport(p, options, [&](Communicator& comm) {
+          const int me = comm.rank();
+          comm.barrier();
+          if (me == victim) {
+            for (int s = 0; s < 8; ++s) {
+              const double v = s;
+              comm.send((me + 1 + s) % p, 710, &v, 1);
+            }
+            FAIL() << "a drop must fire within the victim's 8 sends";
+          }
+          switch (me % 3) {
+            case 0: {
+              double sink = 0.0;
+              comm.recv(victim, 910, &sink, 1);  // never sent
+              break;
+            }
+            case 1: {
+              auto handle = comm.irecv(victim, 911);  // never sent
+              handle.wait();
+              break;
+            }
+            default:
+              comm.barrier();  // victim never arrives
+              break;
+          }
+          FAIL() << "no rank may outlive the injected drop";
+        }),
+        TransportError);
   }
 }
 
