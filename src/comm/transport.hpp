@@ -48,6 +48,18 @@
 
 namespace v6d::comm {
 
+/// First tag available to user point-to-point traffic.  Tags in
+/// [0, kFirstUserTag) are reserved for the transport's internal
+/// collective/control channel: today both backends move collective
+/// payloads out-of-band (the in-process staging area, TCP's separate
+/// internal mailbox keyed by an op-sequence counter), but a
+/// single-tag-space backend — real MPI — must map those op-sequence
+/// tags somewhere, and this reserves the range so user exchanges can
+/// never cross-match them.  tools/analyze's `tag-space` check proves
+/// statically that every user tag in the tree resolves at or above
+/// this floor.
+inline constexpr int kFirstUserTag = 64;
+
 /// Thrown by transport operations that fail for transport-level reasons
 /// (peer unreachable, connection lost, framing violation, injected
 /// fault).  Distinct from AbortedError: a TransportError identifies the

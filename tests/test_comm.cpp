@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+// v6d-analyze: allow-file(tag-space): conformance tests drive raw low tags on isolated per-test worlds; the kFirstUserTag floor governs production exchanges
 
 #include <atomic>
 #include <chrono>

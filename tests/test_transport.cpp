@@ -9,6 +9,10 @@
 // failure surface: a lost or truncated message ends the job with a clean
 // TransportError/AbortedError on every rank — never a hang, never a
 // partially delivered message.
+//
+// v6d-analyze: allow-file(tag-space): conformance tests drive raw low
+// tags on isolated per-test worlds; the kFirstUserTag floor governs
+// production exchanges.
 #include <gtest/gtest.h>
 
 #include <cstdint>

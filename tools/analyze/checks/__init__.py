@@ -1,0 +1,30 @@
+"""v6d-analyze check registry.
+
+Each check module exports:
+    NAME        -- kebab-case check id (used by allow(...) suppressions)
+    DESCRIPTION -- one-line catalog entry
+    run(files)  -- list[Finding] over the parsed SourceFile list
+
+Checks receive every parsed file at once: tag-space needs cross-file
+constant flow, and the others simply iterate.
+"""
+from collections import namedtuple
+
+# path is repo-relative; line is 1-based and anchors suppressions.
+Finding = namedtuple("Finding", ["check", "path", "line", "message"])
+
+from . import (  # noqa: E402  (registry import order is the module list)
+    collective_consistency,
+    tag_space,
+    overlap_window,
+    abort_order,
+    omp_shared_write,
+)
+
+ALL_CHECKS = [
+    collective_consistency,
+    tag_space,
+    overlap_window,
+    abort_order,
+    omp_shared_write,
+]

@@ -1,0 +1,189 @@
+"""abort-memory-order: abort-flag atomics use exactly the documented
+orderings.
+
+The comm layer's abort protocol (src/comm/context.hpp `Context::abort`,
+src/comm/mailbox.hpp header comment) is release/acquire by design, and
+the intent is documented at every site.  TSan can prove the absence of
+races but not the *intent* of an ordering, so this check pins the
+contract statically.  For every atomic whose name mentions `abort`:
+
+  * `.load(...)`     must pass `std::memory_order_acquire`
+  * `.store(...)`    must pass `std::memory_order_release`
+  * `.exchange(...)` must pass `std::memory_order_acq_rel`
+  * implicit accesses (`if (aborted_)`, `aborted_ = true`) are flagged:
+    they compile to seq_cst, which hides the documented protocol and is
+    needlessly strong on the hot paths that poll the flag.
+
+Pointers-to-atomic (`const std::atomic<bool>* abort_`) are recognized;
+their bare uses are pointer null-tests, only `->load(...)` etc. are
+ordering-checked.  Taking the address (`&aborted_`) and the declaration
+itself are of course allowed.
+"""
+import re
+
+from .. import scopes
+from . import Finding
+
+NAME = "abort-memory-order"
+DESCRIPTION = ("abort-flag atomics use the documented orderings: "
+               "load=acquire, store=release, exchange=acq_rel, no "
+               "implicit seq_cst accesses")
+
+_ABORT_NAME = re.compile(r"abort", re.I)
+
+_REQUIRED = {
+    "load": "memory_order_acquire",
+    "store": "memory_order_release",
+    "exchange": "memory_order_acq_rel",
+}
+_ATOMIC_OPS = set(_REQUIRED) | {
+    "compare_exchange_strong", "compare_exchange_weak", "fetch_or",
+    "fetch_and", "fetch_add", "fetch_sub",
+}
+
+
+def run(files):
+    findings = []
+    for sf in files:
+        flags = _atomic_abort_decls(sf.tokens)
+        if not flags:
+            continue
+        shadowed = _plain_abort_decls(sf.tokens)
+        findings.extend(_check_uses(sf, flags, shadowed))
+    return findings
+
+
+def _plain_abort_decls(tokens):
+    """Abort-named variables declared as plain (non-atomic) scalars in the
+    same file — e.g. Barrier's mutex-guarded `bool aborted_` living next
+    to Context's `std::atomic<bool> aborted_`.  Bare uses of such a name
+    cannot be attributed to the atomic, so they are not flagged; the
+    `.load/.store/.exchange` ordering checks still apply (a plain bool has
+    no such members)."""
+    names = set()
+    for i, t in enumerate(tokens):
+        if t.kind == "ident" and t.text in ("bool", "int") \
+                and i + 1 < len(tokens) \
+                and tokens[i + 1].kind == "ident" \
+                and _ABORT_NAME.search(tokens[i + 1].text):
+            names.add(tokens[i + 1].text)
+    return names
+
+
+def _atomic_abort_decls(tokens):
+    """name -> is_pointer for `std::atomic<...> name` declarations whose
+    name mentions abort."""
+    flags = {}
+    for i, t in enumerate(tokens):
+        if t.kind != "ident" or t.text != "atomic":
+            continue
+        if i + 1 >= len(tokens) or tokens[i + 1].text != "<":
+            continue
+        j = _close_angle(tokens, i + 1)
+        if j is None:
+            continue
+        is_pointer = False
+        k = j + 1
+        while k < len(tokens) and tokens[k].kind == "punct" \
+                and tokens[k].text in ("*", "&"):
+            is_pointer = is_pointer or tokens[k].text == "*"
+            k += 1
+        if k < len(tokens) and tokens[k].kind == "ident" \
+                and _ABORT_NAME.search(tokens[k].text):
+            flags[tokens[k].text] = is_pointer
+    return flags
+
+
+def _close_angle(tokens, open_idx):
+    depth = 0
+    for j in range(open_idx, min(open_idx + 32, len(tokens))):
+        t = tokens[j]
+        if t.kind != "punct":
+            continue
+        if t.text == "<":
+            depth += 1
+        elif t.text == ">":
+            depth -= 1
+            if depth == 0:
+                return j
+        elif t.text == ">>":
+            depth -= 2
+            if depth <= 0:
+                return j
+    return None
+
+
+def _check_uses(sf, flags, shadowed):
+    findings = []
+    tokens = sf.tokens
+    for i, t in enumerate(tokens):
+        if t.kind != "ident" or t.text not in flags:
+            continue
+        is_pointer = flags[t.text]
+        prev = tokens[i - 1] if i > 0 else None
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+        # Address-of (`&aborted_`) is how the flag is published: fine.
+        if prev is not None and prev.kind == "punct" and prev.text == "&":
+            continue
+        # Declaration site: `atomic<bool> aborted_{false};` (prev is `>`)
+        # or `const std::atomic<bool>* abort_ = nullptr;` (prev is `*`).
+        if prev is not None and prev.kind == "punct" \
+                and prev.text in ("*", ">") \
+                and nxt is not None and nxt.kind == "punct" \
+                and nxt.text in ("{", ";", "=", ")", ","):
+            continue
+        if nxt is not None and nxt.kind == "punct" \
+                and nxt.text in (".", "->"):
+            op = tokens[i + 2] if i + 2 < len(tokens) else None
+            if op is None or op.kind != "ident":
+                continue
+            if op.text not in _ATOMIC_OPS:
+                continue
+            required = _REQUIRED.get(op.text)
+            if required is None:
+                findings.append(Finding(
+                    NAME, sf.rel, t.line,
+                    f"`{t.text}.{op.text}` is outside the documented "
+                    "abort protocol (load/store/exchange only); extend "
+                    "the contract in comm/context.hpp before using it"))
+                continue
+            paren = i + 3
+            if paren >= len(tokens) or tokens[paren].text != "(":
+                continue
+            args = scopes.call_args(tokens, paren)
+            arg_text = " ".join(
+                tokens[j].text for a in args for j in range(*a))
+            if required not in arg_text:
+                got = [o for o in ("memory_order_relaxed",
+                                   "memory_order_consume",
+                                   "memory_order_acquire",
+                                   "memory_order_release",
+                                   "memory_order_acq_rel",
+                                   "memory_order_seq_cst")
+                       if o in arg_text]
+                detail = got[0] if got else "implicit seq_cst"
+                findings.append(Finding(
+                    NAME, sf.rel, t.line,
+                    f"`{t.text}.{op.text}` uses {detail}; the documented "
+                    f"abort contract requires std::{required} "
+                    "(comm/context.hpp, comm/mailbox.hpp)"))
+            continue
+        if is_pointer:
+            continue  # bare pointer use: null test, assignment of pointer
+        if t.text in shadowed:
+            continue  # same name also declared as a plain scalar: this
+            # bare use may be the mutex-guarded variable, not the atomic
+        # Bare use of the atomic itself: implicit seq_cst load/store.
+        if nxt is not None and nxt.kind == "punct" and nxt.text == "=" :
+            findings.append(Finding(
+                NAME, sf.rel, t.line,
+                f"implicit seq_cst store `{t.text} = ...`; use "
+                f"`.store(..., std::memory_order_release)` per the "
+                "documented abort contract"))
+        else:
+            findings.append(Finding(
+                NAME, sf.rel, t.line,
+                f"implicit seq_cst load of `{t.text}`; use "
+                f"`.load(std::memory_order_acquire)` per the documented "
+                "abort contract"))
+    return findings

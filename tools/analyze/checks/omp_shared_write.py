@@ -1,0 +1,238 @@
+"""omp-shared-write: no unsynchronized scalar writes in parallel regions.
+
+Inside a `#pragma omp parallel` region, a plain write to a scalar that
+lives *outside* the region (captured by reference, a member, a local of
+the enclosing function) is a data race unless the pragma names it in a
+`reduction`/`private`-family clause or the write sits under
+`#pragma omp critical` / `#pragma omp atomic`.  The serial preset and
+TSan cannot see these (OpenMP is off in both), so the heuristic runs
+statically:
+
+  flag  `x += …`, `x = …`, `++x` …  inside the region when `x` is
+        -  not declared inside the region,
+        -  not a loop induction variable of the region's (collapsed) fors,
+        -  not covered by reduction/private/firstprivate/lastprivate/linear,
+        -  not under a critical/atomic sub-pragma, and
+        -  a bare scalar identifier (array elements `a[i]`, member calls
+           `g.at(i,j,k)`, and pointer/member dereferences are *not*
+           flagged — per-element disjoint writes are the parallel
+           pattern this tree uses everywhere).
+
+This is a heuristic by design: it trades missed array aliasing for a
+near-zero false-positive rate on scalar accumulators, the bug class that
+actually bites (`sum += …` without `reduction(+: sum)`).
+"""
+import re
+
+from .. import scopes
+from . import Finding
+
+NAME = "omp-shared-write"
+DESCRIPTION = ("scalar writes to enclosing-scope state inside `#pragma "
+               "omp parallel` need a reduction/critical/atomic or a "
+               "private clause")
+
+_OMP_PARALLEL = re.compile(r"^#\s*pragma\s+omp\s+.*\bparallel\b")
+_OMP_GUARD = re.compile(r"^#\s*pragma\s+omp\s+(critical|atomic)\b")
+_CLAUSE = re.compile(
+    r"\b(reduction|private|firstprivate|lastprivate|linear|shared)\s*\(")
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+_TYPE_TAIL = {"int", "long", "short", "char", "float", "double", "bool",
+              "auto", "size_t", "ptrdiff_t", "int64_t", "uint64_t",
+              "int32_t", "uint32_t", "uint8_t", "int8_t"}
+
+
+def run(files):
+    findings = []
+    for sf in files:
+        findings.extend(_check_file(sf))
+    return findings
+
+
+def _check_file(sf):
+    findings = []
+    tokens = sf.tokens
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if t.kind != "pp" or not _OMP_PARALLEL.match(t.text):
+            continue
+        protected = _clause_names(t.text)
+        region = _region_span(tokens, i + 1, n)
+        if region is None:
+            continue
+        local = _declared_in_region(tokens, region)
+        local |= _induction_vars(tokens, region)
+        guarded = _guarded_spans(tokens, region)
+        for w_idx, name, line in _scalar_writes(tokens, region):
+            if name in protected or name in local:
+                continue
+            if any(lo <= w_idx < hi for lo, hi in guarded):
+                continue
+            findings.append(Finding(
+                NAME, sf.rel, line,
+                f"write to `{name}` (declared outside this `#pragma omp "
+                "parallel` region) without reduction/critical/atomic — "
+                "data race when OpenMP is on"))
+    return findings
+
+
+def _clause_names(directive):
+    """Identifiers protected by the pragma's data-sharing clauses.
+    `shared(...)` names are NOT protected — being listed shared is the
+    race, not the cure — but reduction/private-family names are."""
+    names = set()
+    for m in _CLAUSE.finditer(directive):
+        kind = m.group(1)
+        depth = 1
+        j = m.end()
+        body = []
+        while j < len(directive) and depth:
+            c = directive[j]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            body.append(c)
+            j += 1
+        if kind == "shared":
+            continue
+        text = "".join(body)
+        if kind == "reduction" and ":" in text:
+            text = text.split(":", 1)[1]
+        names.update(re.findall(r"[A-Za-z_]\w*", text))
+    return names
+
+
+def _region_span(tokens, i, n):
+    """Token span of the structured block the pragma applies to: skip any
+    stacked omp pragmas, then one statement (block or for-statement)."""
+    while i < n and tokens[i].kind == "pp":
+        i += 1
+    if i >= n:
+        return None
+    return scopes.statement_span(tokens, i, n)
+
+
+def _declared_in_region(tokens, region):
+    """Identifiers declared inside the region (approximate): `Type name`
+    where the previous token is a type-ish identifier or `>`/`*`/`&`, and
+    name is followed by `=`, `;`, `{`, `(`, or `,`.  Comma-chained
+    declarators (`double sx = 0.0, sy = 0.0, sz = 0.0;`) declare every
+    name in the chain, so after the first declarator the statement is
+    walked to its `;` collecting `, name =`/`, name ;` idents at the
+    declaration's paren/bracket depth."""
+    names = set()
+    start, end = region
+    for j in range(start + 1, end):
+        t = tokens[j]
+        if t.kind != "ident":
+            continue
+        prev = tokens[j - 1]
+        nxt = tokens[j + 1] if j + 1 < end else None
+        if nxt is None or nxt.kind != "punct" \
+                or nxt.text not in ("=", ";", "{", ",", ")"):
+            continue
+        is_decl = False
+        if prev.kind == "ident" and (prev.text in _TYPE_TAIL
+                                     or prev.text[0].isupper()
+                                     or prev.text == "const"):
+            is_decl = True
+        elif prev.kind == "punct" and prev.text in (">", "*", "&"):
+            # `Grid3D<double> g`, `float* p`, `auto& r` — walk back one
+            # more: a declaration, not a comparison, when the token before
+            # the sigil chain is an identifier or `>`.
+            if j >= 2 and tokens[j - 2].kind in ("ident",):
+                is_decl = True
+        if not is_decl:
+            continue
+        names.add(t.text)
+        # Follow the declarator chain to the statement's `;`.
+        depth = 0
+        k = j + 1
+        while k < end:
+            tk = tokens[k]
+            if tk.kind == "punct":
+                if tk.text in "([{":
+                    depth += 1
+                elif tk.text in ")]}":
+                    depth -= 1
+                    if depth < 0:
+                        break
+                elif tk.text == ";" and depth == 0:
+                    break
+                elif tk.text == "," and depth == 0:
+                    if k + 1 < end and tokens[k + 1].kind == "ident":
+                        names.add(tokens[k + 1].text)
+            k += 1
+    return names
+
+
+def _induction_vars(tokens, region):
+    names = set()
+    start, end = region
+    for j in range(start, end):
+        t = tokens[j]
+        if t.kind == "ident" and t.text == "for" and j + 1 < end \
+                and tokens[j + 1].kind == "punct" \
+                and tokens[j + 1].text == "(":
+            close = scopes.match_forward(tokens, j + 1)
+            for k in range(j + 2, min(close, end)):
+                tk = tokens[k]
+                if tk.kind == "punct" and tk.text == ";":
+                    break
+                if tk.kind == "ident" and k + 1 < end \
+                        and tokens[k + 1].kind == "punct" \
+                        and tokens[k + 1].text in ("=", ":"):
+                    names.add(tk.text)
+    return names
+
+
+def _guarded_spans(tokens, region):
+    """Spans protected by `#pragma omp critical` / `#pragma omp atomic`
+    inside the region (the pragma's one following statement)."""
+    spans = []
+    start, end = region
+    for j in range(start, end):
+        t = tokens[j]
+        if t.kind == "pp" and _OMP_GUARD.match(t.text):
+            spans.append(scopes.statement_span(tokens, j + 1, end))
+    return spans
+
+
+def _scalar_writes(tokens, region):
+    """(token_index, name, line) for bare-identifier writes in region."""
+    start, end = region
+    for j in range(start, end):
+        t = tokens[j]
+        if t.kind == "punct" and t.text in ("++", "--"):
+            # ++x / x++ — the adjacent ident is the write target.
+            for k in (j + 1, j - 1):
+                if start <= k < end and tokens[k].kind == "ident":
+                    side_ok = _bare_lhs(tokens, k if k == j + 1 else k,
+                                        start)
+                    if side_ok:
+                        yield k, tokens[k].text, tokens[k].line
+                    break
+            continue
+        if t.kind != "punct" or t.text not in _ASSIGN_OPS:
+            continue
+        k = j - 1
+        if k < start or tokens[k].kind != "ident":
+            continue  # `a[i] =`, `*p =`, `g.at(..) =` — not a bare scalar
+        if not _bare_lhs(tokens, k, start):
+            continue
+        yield k, tokens[k].text, tokens[k].line
+
+
+def _bare_lhs(tokens, k, start):
+    """True when the identifier at `k` is a bare scalar lvalue: not a
+    member access (`x.f`), not preceded by `.`/`->`/`]`/`)`/`*`, and not
+    itself a declaration-with-init (handled by the declared set)."""
+    if k - 1 >= start:
+        prev = tokens[k - 1]
+        if prev.kind == "punct" and prev.text in (".", "->", "]", ")", "*"):
+            return False
+    return True

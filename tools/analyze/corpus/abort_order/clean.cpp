@@ -1,0 +1,49 @@
+// Corpus: abort-memory-order — clean fixture following the documented
+// protocol (load=acquire, store=release, exchange=acq_rel); pointer
+// null-tests and address-of publication are allowed.
+
+#include <atomic>
+
+struct Ctx {
+  std::atomic<bool> aborted_{false};
+  const std::atomic<bool>* abort_ = nullptr;
+
+  void abort() {
+    aborted_.exchange(true, std::memory_order_acq_rel);
+  }
+
+  bool aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  void clear() {
+    aborted_.store(false, std::memory_order_release);
+  }
+
+  void attach(const std::atomic<bool>* flag) {
+    abort_ = flag;
+  }
+
+  bool poll() const {
+    return abort_ && abort_->load(std::memory_order_acquire);
+  }
+
+  const std::atomic<bool>* publish() const {
+    return &aborted_;
+  }
+};
+
+// A mutex-guarded plain bool sharing the atomic's name (Barrier-style):
+// its bare uses are ordered by the mutex, not the atomic protocol, and
+// must not be attributed to the atomic above.
+struct Gate {
+  bool aborted_ = false;
+
+  void cancel() {
+    aborted_ = true;
+  }
+
+  bool dead() const {
+    return aborted_;
+  }
+};

@@ -1,0 +1,27 @@
+// Corpus: abort-memory-order — accesses off the documented protocol.
+
+#include <atomic>
+
+struct Ctx {
+  std::atomic<bool> aborted_{false};
+
+  void abort() {
+    aborted_.exchange(true);  // SEED(abort-memory-order)
+  }
+
+  bool polled() const {
+    return aborted_.load(std::memory_order_relaxed);  // SEED(abort-memory-order)
+  }
+
+  void reset() {
+    aborted_ = false;  // SEED(abort-memory-order)
+  }
+
+  bool raw() const {
+    return aborted_;  // SEED(abort-memory-order)
+  }
+
+  void widen() {
+    aborted_.fetch_or(true);  // SEED(abort-memory-order)
+  }
+};

@@ -1,0 +1,59 @@
+// Corpus: collective-consistency — clean fixture; zero findings expected.
+
+struct Comm {
+  int rank() const;
+  void barrier();
+  void allreduce_sum(double* p, int n);
+  void bcast(int* p, int n, int root);
+};
+
+// Rank-dependent branch doing local work only, collectives outside it.
+void all_ranks_collect(Comm& comm, double* x) {
+  comm.barrier();
+  if (comm.rank() == 0) {
+    x[0] = 1.0;
+  }
+  comm.allreduce_sum(x, 1);
+}
+
+// Rank-dependent if, but the same collective on both branches: every
+// rank arrives exactly once whichever way it goes.
+void matched_branches(Comm& comm, int* v) {
+  if (comm.rank() == 0) {
+    v[0] = 42;
+    comm.bcast(v, 1, 0);
+  } else {
+    comm.bcast(v, 1, 0);
+  }
+}
+
+// Early exit that is NOT rank-dependent: a size-0 fast path every rank
+// takes identically.
+void size_guard(Comm& comm, double* x, int n) {
+  if (n == 0) {
+    return;
+  }
+  comm.allreduce_sum(x, n);
+}
+
+// A rank-guarded throw is not a deadlock in this runtime: a throwing
+// rank aborts the world and wakes every parked peer.
+void throwing_rank(Comm& comm, double* x) {
+  if (comm.rank() == 0) {
+    throw 1;
+  }
+  comm.allreduce_sum(x, 1);
+}
+
+// `continue` under a rank-derived guard is loop-local; the collective
+// after the loop is still reached by every rank.
+void skip_self(Comm& comm, double* x, int n) {
+  const int my_rank = comm.rank();
+  for (int r = 0; r < n; ++r) {
+    if (r == my_rank) {
+      continue;
+    }
+    x[r] += 1.0;
+  }
+  comm.barrier();
+}

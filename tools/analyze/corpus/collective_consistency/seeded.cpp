@@ -1,0 +1,37 @@
+// Corpus: collective-consistency — seeded distributed deadlocks.
+// Each `SEED(collective-consistency)` line must be flagged by exactly
+// that check; nothing else in this file may fire.
+
+struct Comm {
+  int rank() const;
+  void barrier();
+  void allreduce_sum(double* p, int n);
+  void bcast(int* p, int n, int root);
+};
+
+// Classic lead-only collective: ranks != 0 never reach the barrier.
+void lead_only_barrier(Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.barrier();  // SEED(collective-consistency)
+  }
+}
+
+// Taint flows through a local: `lead` is derived from rank().
+void early_exit_allreduce(Comm& comm, double* x) {
+  const bool lead = comm.rank() == 0;
+  if (!lead) {
+    return;
+  }
+  comm.allreduce_sum(x, 1);  // SEED(collective-consistency)
+}
+
+// Both branches call collectives, but not the *same* collectives:
+// rank 0 sits in bcast while everyone else sits in barrier.
+void mismatched_branches(Comm& comm, int* v) {
+  const int my_rank = comm.rank();
+  if (my_rank == 0) {
+    comm.bcast(v, 1, 0);  // SEED(collective-consistency)
+  } else {
+    comm.barrier();  // SEED(collective-consistency)
+  }
+}

@@ -1,0 +1,58 @@
+// Corpus: omp-shared-write — clean fixture; reductions, private
+// clauses, critical sections, region-local declarations, and
+// per-element array writes are all fine.
+
+void reduced_sum(const double* x, int n, double* out) {
+  double sum = 0.0;
+#pragma omp parallel for reduction(+ : sum)
+  for (int i = 0; i < n; ++i) {
+    sum += x[i];
+  }
+  *out = sum;
+}
+
+void guarded_count(double* f, int n) {
+  int count = 0;
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    f[i] = 2.0 * f[i];
+    if (f[i] > 4.0) {
+#pragma omp critical
+      {
+        count += 1;
+      }
+    }
+  }
+  f[0] = static_cast<double>(count);
+}
+
+void private_scratch(double* f, int n) {
+  double tmp = 0.0;
+#pragma omp parallel for private(tmp)
+  for (int i = 0; i < n; ++i) {
+    tmp = f[i] * 2.0;
+    f[i] = tmp;
+  }
+}
+
+void region_local(double* f, int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    double scaled = f[i] * 0.5;
+    scaled += 1.0;
+    f[i] = scaled;
+  }
+}
+
+// Comma-chained declarators: every name in the chain is region-local
+// (the moments-accumulator shape).
+void chained_declarators(const double* x, double* out, int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    double sx = 0.0, sy = 0.0, sz = 0.0;
+    sx += x[i];
+    sy += x[i] * 2.0;
+    sz += x[i] * 3.0;
+    out[i] = sx + sy + sz;
+  }
+}

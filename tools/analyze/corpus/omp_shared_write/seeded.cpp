@@ -1,0 +1,27 @@
+// Corpus: omp-shared-write — unsynchronized scalar writes to
+// enclosing-scope state inside parallel regions.
+
+void racy_sum(const double* x, int n, double* out) {
+  double sum = 0.0;
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    sum += x[i];  // SEED(omp-shared-write)
+  }
+  *out = sum;
+}
+
+void racy_flag(double* f, int n) {
+  bool hit = false;
+  int count = 0;
+#pragma omp parallel
+  {
+#pragma omp for
+    for (int i = 0; i < n; ++i) {
+      if (f[i] > 1.0) {
+        hit = true;  // SEED(omp-shared-write)
+        ++count;     // SEED(omp-shared-write)
+      }
+    }
+  }
+  f[0] = hit ? static_cast<double>(count) : 0.0;
+}

@@ -1,0 +1,44 @@
+// Corpus: overlap-window — clean fixture; zero findings expected.
+
+constexpr int kFirstUserTag = 64;
+
+struct Comm {
+  void barrier();
+};
+
+struct HaloPlan {
+  void begin_axis(double* f, int axis);
+  void finish_axis(double* f, int axis);
+};
+
+struct GridFoldPlan {
+  void begin(double* f, int level);
+  void finish(double* f, int level);
+};
+
+struct Buffer {
+  double* begin();
+  double* end();
+};
+
+// Compute in the window, block only after it closes; chained plans
+// (a second plan's begin inside the first's window) are the intended
+// pipeline shape.
+void overlapped(Comm& comm, HaloPlan& halo, GridFoldPlan& fold,
+                double* f, double* g) {
+  halo.begin_axis(f, 0);
+  g[0] += f[0];
+  halo.finish_axis(f, 0);
+  comm.barrier();
+  fold.begin(g, 1);
+  halo.begin_axis(f, 1);
+  halo.finish_axis(f, 1);
+  fold.finish(g, 1);
+}
+
+// Zero-argument begin()/end() are iterator accessors, not plan halves.
+void iterate(Buffer& b) {
+  for (double* it = b.begin(); it != b.end(); ++it) {
+    *it = 0.0;
+  }
+}

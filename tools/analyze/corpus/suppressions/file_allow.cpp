@@ -1,0 +1,14 @@
+// Corpus: suppression syntax — a file-wide allow silences every
+// finding of the named check without touching the others.
+// v6d-analyze: allow-file(tag-space): fixture drives raw low tags across the whole file
+
+constexpr int kFirstUserTag = 64;
+
+struct Comm {
+  void send(int peer, int tag, const double* p, int n);
+};
+
+void drive(Comm& comm, const double* p) {
+  comm.send(1, 1, p, 4);
+  comm.send(1, 2, p, 4);
+}

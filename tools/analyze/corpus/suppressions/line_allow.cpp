@@ -1,0 +1,21 @@
+// Corpus: suppression syntax — same-line allow, line-above allow, and
+// the unused-suppression meta-finding for stale justifications.
+
+constexpr int kFirstUserTag = 64;
+
+struct Comm {
+  void send(int peer, int tag, const double* p, int n);
+};
+
+void low_tag_same_line(Comm& comm, const double* p) {
+  comm.send(1, 3, p, 4);  // v6d-analyze: allow(tag-space): corpus drives the reserved channel on purpose
+}
+
+void low_tag_line_above(Comm& comm, const double* p) {
+  // v6d-analyze: allow(tag-space): corpus drives the reserved channel on purpose
+  comm.send(1, 4, p, 4);
+}
+
+void stale(Comm& comm, const double* p) {
+  comm.send(1, 0x100, p, 4);  // v6d-analyze: allow(tag-space): stale reason  // SEED(unused-suppression)
+}

@@ -1,0 +1,12 @@
+// Corpus: tag-space — kFirstUserTag absent. // SEED(tag-space)
+// With p2p traffic present but no reserved-floor constant in the
+// scanned set, the contract is unverifiable and the check says so
+// (anchored at line 1 of the first scanned file).
+
+struct Comm {
+  void send(int peer, int tag, const double* p, int n);
+};
+
+void ship(Comm& comm, const double* p) {
+  comm.send(1, 200, p, 4);
+}

@@ -1,0 +1,346 @@
+#!/usr/bin/env python3
+"""Shared C++ lexer for the v6d-analyze checks (tools/analyze/).
+
+A real token-level pass, not a regex scrape: comments (line and block,
+including block comments containing braces), ordinary/char/raw string
+literals (`R"delim(...)delim"` spanning lines), preprocessor directives
+with backslash continuations, and literally-disabled conditional regions
+(`#if 0` ... `#endif`) are all handled before any check sees a token.
+Digraphs are deliberately NOT folded (the tree is digraph-free; `<:` in
+`vector<::v6d::X>` must lex as `<` `::`), and maximal munch covers the
+multi-character operators the checks care about (`::`, `->`, `==`,
+compound assignments, shifts).
+
+Tokens carry (kind, text, line):
+    kind ∈ {"ident", "num", "str", "chr", "punct", "pp"}
+A "pp" token holds the whole (continuation-joined) directive text and is
+emitted in source order, so brace-depth tracking in the scope layer is
+never confused by directives.  Tokens inside disabled regions are not
+emitted at all.  Stdlib only; `python3 tools/analyze/cxxlex.py` runs the
+lexer's own self-test.
+"""
+import re
+import sys
+from collections import namedtuple
+
+Token = namedtuple("Token", ["kind", "text", "line"])
+
+# Longest-first so maximal munch is a plain prefix test.
+_MULTI_PUNCT = [
+    "<<=", ">>=", "->*", "...",
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "##",
+]
+
+_IDENT_START = re.compile(r"[A-Za-z_]")
+_IDENT_BODY = re.compile(r"[A-Za-z0-9_]")
+_RAW_PREFIX = re.compile(r'(?:u8|[uUL])?R$')
+
+_PP_IF = re.compile(r"^#\s*if\b(.*)$", re.S)
+_PP_IFDEF = re.compile(r"^#\s*(ifdef|ifndef)\b", re.S)
+_PP_ELIF = re.compile(r"^#\s*elif\b(.*)$", re.S)
+_PP_ELSE = re.compile(r"^#\s*else\b")
+_PP_ENDIF = re.compile(r"^#\s*endif\b")
+
+
+def _literal_truth(expr):
+    """0/false -> False, 1/true -> True, anything else -> None."""
+    expr = expr.strip()
+    if expr in ("0", "false", "(0)"):
+        return False
+    if expr in ("1", "true", "(1)"):
+        return True
+    return None
+
+
+class _CondFrame:
+    """One #if/#ifdef conditional; tracks whether the current branch is
+    statically disabled (only literal `#if 0`/`#if 1` decide anything —
+    every other condition scans both branches)."""
+
+    def __init__(self, literal):
+        self.literal = literal          # truth of the opening condition
+        self.in_else = False
+
+    def branch_enabled(self):
+        if self.literal is None:
+            return True
+        return self.literal != self.in_else
+
+
+def lex(text):
+    """Lex `text` into a list of Token.  Never raises on malformed input;
+    unterminated constructs consume to end of file."""
+    tokens = []
+    i, n, line = 0, len(text), 1
+    cond_stack = []
+
+    def enabled():
+        return all(fr.branch_enabled() for fr in cond_stack)
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # ---- comments ----
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                j = text.find("\n", i)
+                i = n if j < 0 else j
+                continue
+            if text[i + 1] == "*":
+                j = text.find("*/", i + 2)
+                if j < 0:
+                    break
+                line += text.count("\n", i, j + 2)
+                i = j + 2
+                continue
+        # ---- preprocessor directive (with continuations) ----
+        if c == "#" and _at_line_start(text, i):
+            start_line = line
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                if k < 0:
+                    k = n
+                if k > j and text[k - 1] == "\\":
+                    line += 1
+                    j = k + 1
+                else:
+                    j = k
+                    break
+            directive = re.sub(r"\\\n", " ", text[i:j])
+            _track_conditional(cond_stack, directive)
+            if enabled() and not _is_conditional(directive):
+                tokens.append(Token("pp", directive.strip(), start_line))
+            i = j
+            continue
+        if not enabled():
+            # Skip a disabled region token-blind but line-accurately; raw
+            # newline accounting happens at the top of the loop, so just
+            # consume one char here.
+            i += 1
+            continue
+        # ---- raw string ----
+        if c == '"' and tokens and tokens[-1].kind == "ident" \
+                and _RAW_PREFIX.search(tokens[-1].text):
+            prefix = tokens.pop()
+            close = _raw_string_end(text, i)
+            body = text[i:close]
+            line_at = prefix.line
+            line += body.count("\n")
+            tokens.append(Token("str", prefix.text + body, line_at))
+            i = close
+            continue
+        # ---- string / char literal ----
+        if c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                if text[j] == "\\":
+                    j += 1
+                elif text[j] == "\n":
+                    break  # unterminated; tolerate
+                j += 1
+            j = min(j + 1, n)
+            tokens.append(Token("str" if c == '"' else "chr",
+                                text[i:j], line))
+            i = j
+            continue
+        # ---- identifier ----
+        if _IDENT_START.match(c):
+            j = i + 1
+            while j < n and _IDENT_BODY.match(text[j]):
+                j += 1
+            tokens.append(Token("ident", text[i:j], line))
+            i = j
+            continue
+        # ---- number (pp-number: handles hex, digit separators, exponents) ----
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n:
+                ch = text[j]
+                if ch.isalnum() or ch in "._'":
+                    j += 1
+                elif ch in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                else:
+                    break
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        # ---- punctuation (maximal munch) ----
+        for op in _MULTI_PUNCT:
+            if text.startswith(op, i):
+                tokens.append(Token("punct", op, line))
+                i += len(op)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    return tokens
+
+
+def _at_line_start(text, i):
+    j = i - 1
+    while j >= 0 and text[j] in " \t":
+        j -= 1
+    return j < 0 or text[j] == "\n"
+
+
+def _raw_string_end(text, i):
+    """`text[i]` is the opening quote of a raw string (R already consumed);
+    return the index one past the closing quote."""
+    m = re.match(r'"([^ ()\\\t\n]*)\(', text[i:])
+    if not m:
+        return min(i + 1, len(text))
+    delim = ")" + m.group(1) + '"'
+    j = text.find(delim, i + m.end())
+    return len(text) if j < 0 else j + len(delim)
+
+
+def _is_conditional(directive):
+    return bool(_PP_IF.match(directive) or _PP_IFDEF.match(directive)
+                or _PP_ELIF.match(directive) or _PP_ELSE.match(directive)
+                or _PP_ENDIF.match(directive))
+
+
+def _track_conditional(stack, directive):
+    m = _PP_IF.match(directive)
+    if m:
+        stack.append(_CondFrame(_literal_truth(m.group(1))))
+        return
+    if _PP_IFDEF.match(directive):
+        stack.append(_CondFrame(None))
+        return
+    m = _PP_ELIF.match(directive)
+    if m and stack:
+        fr = stack[-1]
+        if fr.literal is False:
+            # A dead #if 0 can be revived by a literally-true #elif.
+            fr.literal = _literal_truth(m.group(1))
+            if fr.literal is None:
+                fr.literal = None
+        elif fr.literal is True:
+            fr.literal = True
+            fr.in_else = True  # taken branch passed; rest is dead
+        return
+    if _PP_ELSE.match(directive) and stack:
+        stack[-1].in_else = True
+        return
+    if _PP_ENDIF.match(directive) and stack:
+        stack.pop()
+
+
+def int_value(num_text):
+    """Value of an integer literal token text, or None (floats, etc.)."""
+    t = num_text.replace("'", "").rstrip("uUlL")
+    try:
+        return int(t, 0)
+    except ValueError:
+        return None
+
+
+# --------------------------------------------------------------------------
+# Self-test: the corpus-driven edge cases the satellite task names — raw
+# strings, block comments containing braces, preprocessor-disabled regions,
+# digraph-free token sequences — plus continuation and literal handling.
+
+_FIXTURE_CASES = [
+    # (source, expected (kind, text) list or predicate description)
+    ("int a = 3; // brace in comment {",
+     [("ident", "int"), ("ident", "a"), ("punct", "="), ("num", "3"),
+      ("punct", ";")]),
+    ("/* { nested } braces { in block comment */ foo",
+     [("ident", "foo")]),
+    ('auto s = R"x(unbalanced { " )incomplete )x"; next',
+     [("ident", "auto"), ("ident", "s"), ("punct", "="),
+      ("str", 'R"x(unbalanced { " )incomplete )x"'), ("punct", ";"),
+      ("ident", "next")]),
+    ('auto p = R"(plain { raw)"; after',
+     [("ident", "auto"), ("ident", "p"), ("punct", "="),
+      ("str", 'R"(plain { raw)"'), ("punct", ";"), ("ident", "after")]),
+    # Disabled region: the { } and call inside #if 0 must not appear.
+    ("#if 0\nbarrier();\n{\n#else\nkept();\n#endif\ntail",
+     [("ident", "kept"), ("punct", "("), ("punct", ")"), ("punct", ";"),
+      ("ident", "tail")]),
+    ("#if 1\ntaken();\n#else\ndead {\n#endif\nrest",
+     [("ident", "taken"), ("punct", "("), ("punct", ")"), ("punct", ";"),
+      ("ident", "rest")]),
+    # Non-literal conditionals keep both branches.
+    ("#ifdef _OPENMP\na();\n#else\nb();\n#endif",
+     [("ident", "a"), ("punct", "("), ("punct", ")"), ("punct", ";"),
+      ("ident", "b"), ("punct", "("), ("punct", ")"), ("punct", ";")]),
+    # Digraph-free: `<:` must lex as `<` `::`-chain pieces, not `[`.
+    ("vector<::v6d::X> v;",
+     [("ident", "vector"), ("punct", "<"), ("punct", "::"),
+      ("ident", "v6d"), ("punct", "::"), ("ident", "X"), ("punct", ">"),
+      ("ident", "v"), ("punct", ";")]),
+    ("x<=y; p->q; a::b; s <<= 2; t >>= 1; u != v;",
+     [("ident", "x"), ("punct", "<="), ("ident", "y"), ("punct", ";"),
+      ("ident", "p"), ("punct", "->"), ("ident", "q"), ("punct", ";"),
+      ("ident", "a"), ("punct", "::"), ("ident", "b"), ("punct", ";"),
+      ("ident", "s"), ("punct", "<<="), ("num", "2"), ("punct", ";"),
+      ("ident", "t"), ("punct", ">>="), ("num", "1"), ("punct", ";"),
+      ("ident", "u"), ("punct", "!="), ("ident", "v"), ("punct", ";")]),
+    ('const char* s = "quote \\" and { brace"; int z;',
+     [("ident", "const"), ("ident", "char"), ("punct", "*"),
+      ("ident", "s"), ("punct", "="),
+      ("str", '"quote \\" and { brace"'), ("punct", ";"),
+      ("ident", "int"), ("ident", "z"), ("punct", ";")]),
+    ("int hex = 0x6a7; double d = 1.5e+3; int sep = 1'000;",
+     [("ident", "int"), ("ident", "hex"), ("punct", "="),
+      ("num", "0x6a7"), ("punct", ";"),
+      ("ident", "double"), ("ident", "d"), ("punct", "="),
+      ("num", "1.5e+3"), ("punct", ";"),
+      ("ident", "int"), ("ident", "sep"), ("punct", "="),
+      ("num", "1'000"), ("punct", ";")]),
+    # Continued #define is one pp token; code resumes after.
+    ("#define M(a) \\\n  ((a) + 1)\nint after_define;",
+     [("pp", "#define M(a)    ((a) + 1)"),
+      ("ident", "int"), ("ident", "after_define"), ("punct", ";")]),
+    ("'\\'' x", [("chr", "'\\''"), ("ident", "x")]),
+    # A nested #if inside a disabled region must not re-enable it: the
+    # inner `#if 1` frame is locally true but the outer `#if 0` still
+    # suppresses everything down to ITS #endif.
+    ("#if 0\n#if 1\nx();\n#endif\nstill_dead();\n#endif\nalive",
+     [("ident", "alive")]),
+    # A raw string whose body contains a decoy `)x"` terminator for a
+    # DIFFERENT delimiter: only `)y"` closes it.
+    ('auto q = R"y(not )x" yet)y"; tail',
+     [("ident", "auto"), ("ident", "q"), ("punct", "="),
+      ("str", 'R"y(not )x" yet)y"'), ("punct", ";"), ("ident", "tail")]),
+]
+
+
+def self_test():
+    failures = 0
+    for idx, (src, want) in enumerate(_FIXTURE_CASES):
+        got = [(t.kind, t.text) for t in lex(src)]
+        if got != want:
+            failures += 1
+            print(f"lexer self-test FAIL case {idx}:\n  src:  {src!r}\n"
+                  f"  want: {want}\n  got:  {got}")
+    # Line-number accuracy through multi-line constructs.
+    src = '/* one\ntwo */\nint a;\nauto r = R"(l4\nl5)";\nint b;\n'
+    lines = {t.text: t.line for t in lex(src) if t.kind == "ident"}
+    if lines.get("a") != 3 or lines.get("b") != 6:
+        failures += 1
+        print(f"lexer self-test FAIL line numbers: {lines}")
+    if int_value("0x6a7") != 0x6a7 or int_value("1'000u") != 1000 \
+            or int_value("1.5") is not None:
+        failures += 1
+        print("lexer self-test FAIL int_value")
+    if failures:
+        print(f"lexer self-test: {failures} case(s) failed")
+        return 1
+    print(f"lexer self-test OK ({len(_FIXTURE_CASES) + 2} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(self_test())

@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Scope and call-site extraction over cxxlex token streams.
+
+Brace-aware utilities shared by every v6d-analyze check:
+
+  * functions(tokens)  — function definitions with qualified names and
+    body token spans (lambdas stay inside their enclosing function; class
+    bodies are recursed into so member functions are found).
+  * if_statements(...) — `if (cond) then [else …]` spans for the
+    collective-consistency analysis, with `else if` chains linked.
+  * call_args(...)     — argument spans of a call, split at top-level
+    commas.
+  * statement_span(...)— one statement starting at an index (compound
+    blocks, control headers, plain `…;`).
+
+All spans are half-open `(start, end)` token-index pairs.  Stdlib only.
+"""
+from collections import namedtuple
+
+Function = namedtuple("Function", ["name", "qualname", "body", "line"])
+IfStmt = namedtuple("IfStmt", ["cond", "then", "orelse", "line"])
+
+_OPEN = {"(": ")", "[": "]", "{": "}"}
+_CONTROL = {"if", "for", "while", "switch", "catch", "do", "else",
+            "return", "sizeof", "alignof", "decltype", "new", "delete"}
+
+
+def match_forward(tokens, i):
+    """Index of the token matching the bracket at `i` (or len(tokens))."""
+    close = _OPEN[tokens[i].text]
+    opener = tokens[i].text
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j]
+        if t.kind != "punct":
+            continue
+        if t.text == opener:
+            depth += 1
+        elif t.text == close:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens)
+
+
+def functions(tokens):
+    """Extract function definitions: a `{` preceded (modulo trailing
+    qualifiers) by a `(...)` parameter list whose head token is an
+    identifier that is not a control keyword.  Returns them in source
+    order; bodies never overlap (scanning resumes after each body)."""
+    out = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t.kind == "punct" and t.text == "{":
+            info = _function_at(tokens, i)
+            if info is not None:
+                name, qual, line = info
+                end = match_forward(tokens, i)
+                out.append(Function(name, qual, (i + 1, end), line))
+                i = end + 1
+                continue
+        i += 1
+    return out
+
+
+def _function_at(tokens, brace):
+    """If the `{` at `brace` opens a function body, return (name,
+    qualname, line); else None."""
+    j = brace - 1
+    # Skip trailing qualifiers / trailing-return-type tokens between the
+    # parameter list and the body: const noexcept override final mutable
+    # `-> Type`, `noexcept(...)`, attribute brackets.
+    guard = 0
+    while j >= 0 and guard < 24:
+        t = tokens[j]
+        if t.kind == "punct" and t.text == ")":
+            k = _match_backward(tokens, j)
+            if k is None:
+                return None
+            # `noexcept(...)` / attribute parens: keep walking left.
+            if k >= 1 and tokens[k - 1].kind == "ident" \
+                    and tokens[k - 1].text in ("noexcept", "alignas"):
+                j = k - 2
+                guard += 1
+                continue
+            return _name_before_paren(tokens, k)
+        if t.kind == "ident" and t.text in (
+                "const", "noexcept", "override", "final", "mutable",
+                "volatile", "try"):
+            j -= 1
+            guard += 1
+            continue
+        if t.kind == "punct" and t.text in ("&", "&&"):
+            j -= 1
+            guard += 1
+            continue
+        if t.kind == "punct" and t.text == "->":  # trailing return: skip type
+            j -= 1
+            guard += 1
+            continue
+        if t.kind == "ident" or (t.kind == "punct" and t.text in
+                                 ("::", "<", ">", "*", ",", "]", "[")):
+            # Could be part of a trailing return type; walk left a bit.
+            j -= 1
+            guard += 1
+            continue
+        return None
+    return None
+
+
+def _match_backward(tokens, close):
+    depth = 0
+    for k in range(close, -1, -1):
+        t = tokens[k]
+        if t.kind != "punct":
+            continue
+        if t.text == ")":
+            depth += 1
+        elif t.text == "(":
+            depth -= 1
+            if depth == 0:
+                return k
+    return None
+
+
+def _name_before_paren(tokens, paren):
+    k = paren - 1
+    if k < 0:
+        return None
+    t = tokens[k]
+    if t.kind != "ident" or t.text in _CONTROL:
+        return None
+    # Reject lambdas: `[...](` has `]` before the head identifier chain's
+    # start only when there is no identifier — already excluded — but also
+    # reject `operator()` handled below and calls like `foo(...)  {` that
+    # are really initializer lists of a declaration; those are rare in
+    # this tree and harmless if misclassified (body scans still work).
+    name = t.text
+    qual = [name]
+    k -= 1
+    while k >= 1 and tokens[k].kind == "punct" and tokens[k].text == "::" \
+            and tokens[k - 1].kind == "ident":
+        qual.insert(0, tokens[k - 1].text)
+        k -= 2
+    return name, "::".join(qual), t.line
+
+
+def statement_span(tokens, i, end):
+    """Half-open span of the statement starting at token `i` (< end)."""
+    if i >= end:
+        return (i, i)
+    t = tokens[i]
+    if t.kind == "punct" and t.text == "{":
+        return (i, min(match_forward(tokens, i) + 1, end))
+    if t.kind == "ident" and t.text in ("if", "for", "while", "switch"):
+        j = i + 1
+        if t.text == "if" and j < end and tokens[j].kind == "ident" \
+                and tokens[j].text == "constexpr":
+            j += 1
+        if j < end and tokens[j].kind == "punct" and tokens[j].text == "(":
+            j = match_forward(tokens, j) + 1
+        body_start, body_end = statement_span(tokens, j, end)
+        if t.text == "if" and body_end < end \
+                and tokens[body_end].kind == "ident" \
+                and tokens[body_end].text == "else":
+            _, else_end = statement_span(tokens, body_end + 1, end)
+            return (i, else_end)
+        return (i, body_end)
+    if t.kind == "ident" and t.text == "do":
+        body_start, body_end = statement_span(tokens, i + 1, end)
+        j = body_end
+        while j < end and not (tokens[j].kind == "punct"
+                               and tokens[j].text == ";"):
+            j += 1
+        return (i, min(j + 1, end))
+    # Plain statement: to the `;` at depth 0.
+    depth = 0
+    for j in range(i, end):
+        tj = tokens[j]
+        if tj.kind != "punct":
+            continue
+        if tj.text in "([{":
+            depth += 1
+        elif tj.text in ")]}":
+            depth -= 1
+            if depth < 0:
+                return (i, j)
+        elif tj.text == ";" and depth == 0:
+            return (i, j + 1)
+    return (i, end)
+
+
+def if_statements(tokens, span):
+    """All `if` statements (any nesting depth) inside `span`, as IfStmt
+    with cond/then/orelse half-open token spans.  `else if` chains appear
+    both as the outer if's orelse and as their own IfStmt."""
+    out = []
+    start, end = span
+    i = start
+    while i < end:
+        t = tokens[i]
+        if t.kind == "ident" and t.text == "if":
+            j = i + 1
+            if j < end and tokens[j].kind == "ident" \
+                    and tokens[j].text == "constexpr":
+                j += 1
+            if j < end and tokens[j].kind == "punct" and tokens[j].text == "(":
+                cond_end = match_forward(tokens, j)
+                cond = (j + 1, cond_end)
+                then = statement_span(tokens, cond_end + 1, end)
+                orelse = None
+                k = then[1]
+                if k < end and tokens[k].kind == "ident" \
+                        and tokens[k].text == "else":
+                    orelse = statement_span(tokens, k + 1, end)
+                out.append(IfStmt(cond, then, orelse, t.line))
+        i += 1
+    return out
+
+
+def call_args(tokens, open_paren):
+    """Argument token spans of the call whose `(` is at `open_paren`,
+    split at top-level commas.  Empty argument list -> []."""
+    close = match_forward(tokens, open_paren)
+    args = []
+    depth = 0
+    arg_start = open_paren + 1
+    if arg_start >= close:
+        return []
+    for j in range(open_paren + 1, close):
+        t = tokens[j]
+        if t.kind != "punct":
+            continue
+        if t.text in "([{":
+            depth += 1
+        elif t.text in ")]}":
+            depth -= 1
+        elif t.text == "," and depth == 0:
+            args.append((arg_start, j))
+            arg_start = j + 1
+    args.append((arg_start, close))
+    return args
+
+
+def member_calls(tokens, span, names):
+    """Yield (method_name, receiver_name_or_None, open_paren_index, line)
+    for every call `recv.name(` / `recv->name(` / bare `name(` inside
+    `span` where name ∈ names.  The receiver is the single identifier
+    immediately left of the access operator (chained accesses yield the
+    rightmost identifier, e.g. `a.b_->name(` -> `b_`)."""
+    start, end = span
+    for i in range(start, end):
+        t = tokens[i]
+        if t.kind != "ident" or t.text not in names:
+            continue
+        if i + 1 >= end or tokens[i + 1].kind != "punct" \
+                or tokens[i + 1].text != "(":
+            continue
+        receiver = None
+        if i >= 2 and tokens[i - 1].kind == "punct" \
+                and tokens[i - 1].text in (".", "->") \
+                and tokens[i - 2].kind == "ident":
+            receiver = tokens[i - 2].text
+        elif i >= 1 and tokens[i - 1].kind == "punct" \
+                and tokens[i - 1].text in (".", "->"):
+            receiver = ""  # complex receiver expression (call chain, index)
+        yield t.text, receiver, i + 1, t.line

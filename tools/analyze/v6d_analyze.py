@@ -1,0 +1,295 @@
+#!/usr/bin/env python3
+"""v6d-analyze: semantic static analysis for the comm layer's unwritten
+contracts.
+
+    python3 tools/analyze/v6d_analyze.py [--root DIR] [--build-dir DIR]
+                                         [--check NAME ...] [--list]
+    python3 tools/analyze/v6d_analyze.py --self-test
+
+Unlike the regex lints (tools/lint_*.py) this is a token-level pass: a
+shared C++ lexer (cxxlex.py) plus per-function scope/call extraction
+(scopes.py) feed a check suite encoding the concurrency contracts the
+compiler and the runtime tools cannot see — collective call consistency
+across ranks, tag-space disjointness, overlap-window purity, the abort
+flag's memory-order protocol, and OpenMP shared-write races.  Run
+`--list` for the catalog; docs/DEVELOPMENT.md has the policy.
+
+File discovery is driven by compile_commands.json when a configured
+build is available (`--build-dir`, or the first of build/{release,debug,
+tsan,asan,serial,.} that has one): the scanned set is exactly the
+in-tree TUs the build compiles, plus every header under the source
+prefixes.  Without any configured build the tree is walked directly, so
+the tool still runs on a fresh checkout.
+
+Findings are fixed-or-justified.  A false positive is suppressed on its
+line (or the line above) with a named, reasoned comment:
+
+    // v6d-analyze: allow(tag-space): conformance tests exercise raw tags
+    comm.send(peer, 7, seq, 2);
+
+File-wide suppressions use `allow-file(<check>): <reason>` anywhere in
+the file.  Unused line suppressions are themselves findings, so stale
+justifications cannot accumulate.  `--self-test` proves every check
+still catches its seeded corpus (tools/analyze/corpus/) and that the
+clean fixtures and the suppression syntax behave; exit 0 = clean tree.
+Stdlib only.
+"""
+import argparse
+import json
+import os
+import re
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    from analyze import cxxlex, scopes  # noqa: F401
+    from analyze.checks import ALL_CHECKS, Finding
+else:
+    from . import cxxlex, scopes  # noqa: F401
+    from .checks import ALL_CHECKS, Finding
+
+SOURCE_PREFIXES = ("src", "apps", "bench", "tests", "examples")
+EXTENSIONS = (".cpp", ".hpp", ".h", ".cc")
+DEFAULT_BUILD_DIRS = ("build/release", "build/debug", "build/tsan",
+                      "build/asan", "build/serial", "build")
+
+_ALLOW_LINE = re.compile(
+    r"//\s*v6d-analyze:\s*allow\(([a-z][a-z0-9-]*)\):\s*(\S.*)")
+_ALLOW_FILE = re.compile(
+    r"//\s*v6d-analyze:\s*allow-file\(([a-z][a-z0-9-]*)\):\s*(\S.*)")
+
+
+class SourceFile:
+    """One parsed source file: raw lines for suppression scanning, token
+    stream, extracted functions."""
+
+    def __init__(self, path, rel):
+        self.path = path
+        self.rel = rel
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            self.text = f.read()
+        self.lines = self.text.splitlines()
+        self.tokens = cxxlex.lex(self.text)
+        self.functions = scopes.functions(self.tokens)
+        self.allow_lines = {}   # (check, line) -> reason
+        self.allow_file = {}    # check -> reason
+        for lineno, line in enumerate(self.lines, start=1):
+            m = _ALLOW_LINE.search(line)
+            if m:
+                self.allow_lines[(m.group(1), lineno)] = m.group(2)
+            m = _ALLOW_FILE.search(line)
+            if m:
+                self.allow_file[m.group(1)] = m.group(2)
+
+
+def discover_files(root, build_dir):
+    """(files, how) — repo-relative source paths to scan."""
+    tus = None
+    how = "tree walk (no compile_commands.json found)"
+    if build_dir:
+        cc = os.path.join(build_dir, "compile_commands.json")
+        if os.path.exists(cc):
+            with open(cc, encoding="utf-8") as f:
+                entries = json.load(f)
+            tus = set()
+            for entry in entries:
+                path = entry["file"]
+                if not os.path.isabs(path):
+                    path = os.path.join(entry.get("directory", ""), path)
+                rel = os.path.relpath(os.path.normpath(path), root)
+                if rel.split(os.sep, 1)[0] in SOURCE_PREFIXES:
+                    tus.add(rel)
+            how = (f"compile_commands.json ({os.path.relpath(build_dir, root)}"
+                   f": {len(tus)} TUs) + in-tree headers")
+    files = set(tus or ())
+    for prefix in SOURCE_PREFIXES:
+        base = os.path.join(root, prefix)
+        for dirpath, _, filenames in os.walk(base):
+            for name in filenames:
+                if not name.endswith(EXTENSIONS):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                if tus is None or not name.endswith((".cpp", ".cc")):
+                    files.add(rel)
+    return sorted(files), how
+
+
+def find_build_dir(root, requested):
+    candidates = [requested] if requested else DEFAULT_BUILD_DIRS
+    for cand in candidates:
+        path = os.path.join(root, cand)
+        if os.path.exists(os.path.join(path, "compile_commands.json")):
+            return path
+    return None
+
+
+def run_checks(files, check_names=None):
+    findings = []
+    for check in ALL_CHECKS:
+        if check_names and check.NAME not in check_names:
+            continue
+        findings.extend(check.run(files))
+    return findings
+
+
+def apply_suppressions(files, findings):
+    """Split findings into (reported, suppressed) and synthesize findings
+    for unused line-level suppressions."""
+    by_rel = {sf.rel: sf for sf in files}
+    reported, suppressed = [], []
+    used = set()
+    for f in findings:
+        sf = by_rel.get(f.path)
+        if sf is None:
+            reported.append(f)
+            continue
+        if f.check in sf.allow_file:
+            suppressed.append(f)
+            continue
+        key = None
+        for line in (f.line, f.line - 1):
+            if (f.check, line) in sf.allow_lines:
+                key = (f.path, f.check, line)
+                break
+        if key:
+            used.add(key)
+            suppressed.append(f)
+        else:
+            reported.append(f)
+    for sf in files:
+        for (check, line) in sf.allow_lines:
+            if (sf.rel, check, line) not in used:
+                reported.append(Finding(
+                    "unused-suppression", sf.rel, line,
+                    f"allow({check}) suppresses nothing; remove it or fix "
+                    "the check name"))
+    return reported, suppressed
+
+
+def scan(root, build_dir, check_names=None, quiet=False):
+    files_rel, how = discover_files(root, build_dir)
+    if not quiet:
+        print(f"v6d-analyze: {len(files_rel)} file(s) via {how}")
+    files = [SourceFile(os.path.join(root, rel), rel.replace(os.sep, "/"))
+             for rel in files_rel]
+    findings = run_checks(files, check_names)
+    reported, suppressed = apply_suppressions(files, findings)
+    reported.sort(key=lambda f: (f.path, f.line, f.check))
+    for f in reported:
+        print(f"FAIL {f.path}:{f.line}: [{f.check}] {f.message}")
+    if reported:
+        print(f"{len(reported)} finding(s) "
+              f"({len(suppressed)} suppressed); fix the code or add a "
+              "justified `// v6d-analyze: allow(<check>): <reason>` "
+              "(docs/DEVELOPMENT.md)")
+        return 1
+    if not quiet:
+        checks = len(check_names) if check_names else len(ALL_CHECKS)
+        print(f"OK   {len(files)} file(s) clean under {checks} check(s) "
+              f"({len(suppressed)} suppressed finding(s))")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: corpus-driven.  Every corpus/<check-dir>/*.cpp file is scanned
+# with the full suite; lines carrying `// SEED(<check>)` markers must be
+# flagged by exactly that check, and nothing else in the file may fire.
+
+_SEED = re.compile(r"//\s*SEED\(([a-z][a-z0-9-]*)\)")
+
+
+def self_test():
+    corpus = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "corpus")
+    failures = 0
+    lexer_rc = cxxlex.self_test()
+    if lexer_rc != 0:
+        failures += 1
+    case_files = []
+    for dirpath, _, filenames in os.walk(corpus):
+        for name in sorted(filenames):
+            if name.endswith(EXTENSIONS):
+                case_files.append(os.path.join(dirpath, name))
+    if not case_files:
+        print("self-test FAIL: no corpus files under tools/analyze/corpus/")
+        return 1
+    seeded_total = 0
+    checks_hit = set()
+    for path in case_files:
+        rel = os.path.relpath(path, corpus)
+        sf = SourceFile(path, rel)
+        expected = {}
+        for lineno, line in enumerate(sf.lines, start=1):
+            for m in _SEED.finditer(line):
+                expected.setdefault(m.group(1), set()).add(lineno)
+                seeded_total += 1
+        findings = run_checks([sf])
+        reported, _ = apply_suppressions([sf], findings)
+        got = {}
+        for f in reported:
+            got.setdefault(f.check, set()).add(f.line)
+        if got != expected:
+            failures += 1
+            print(f"self-test FAIL {rel}:")
+            for check in sorted(set(expected) | set(got)):
+                want = sorted(expected.get(check, ()))
+                have = sorted(got.get(check, ()))
+                if want != have:
+                    print(f"  [{check}] expected lines {want}, got {have}")
+            for f in reported:
+                print(f"    reported {f.path}:{f.line}: [{f.check}] "
+                      f"{f.message}")
+        checks_hit.update(expected)
+    missing = {c.NAME for c in ALL_CHECKS} - checks_hit
+    if missing:
+        failures += 1
+        print(f"self-test FAIL: no seeded corpus case for check(s): "
+              f"{sorted(missing)}")
+    if failures:
+        print(f"self-test: {failures} failure(s)")
+        return 1
+    print(f"self-test OK: {len(case_files)} corpus file(s), "
+          f"{seeded_total} seeded violation(s) across "
+          f"{len(checks_hit)} check(s), lexer suite green")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this "
+                             "script)")
+    parser.add_argument("--build-dir", default=None,
+                        help="configured build dir for "
+                             "compile_commands.json-driven file discovery")
+    parser.add_argument("--check", action="append", default=None,
+                        metavar="NAME", help="run only the named check(s)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the check catalog and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the seeded-violation corpus + lexer suite")
+    opts = parser.parse_args(argv[1:])
+
+    if opts.list:
+        for check in ALL_CHECKS:
+            print(f"{check.NAME:24s} {check.DESCRIPTION}")
+        return 0
+    if opts.self_test:
+        return self_test()
+
+    root = os.path.abspath(opts.root) if opts.root else os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    known = {c.NAME for c in ALL_CHECKS}
+    if opts.check:
+        unknown = set(opts.check) - known
+        if unknown:
+            print(f"unknown check(s): {sorted(unknown)}; --list shows the "
+                  "catalog")
+            return 2
+    build_dir = find_build_dir(root, opts.build_dir)
+    return scan(root, build_dir, opts.check)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,6 +18,14 @@ resolved from $CLANG_TIDY, then PATH (clang-tidy, clang-tidy-21 ... -14).
 Checks and the NOLINT policy live in .clang-tidy at the repo root;
 warnings are errors (WarningsAsErrors: '*'), so any finding fails the
 gate.  Stdlib only.
+
+--analyzer switches to a second, deeper pass: the Clang Static
+Analyzer's path-sensitive core/cplusplus packages (null derefs, uses of
+moved-from or deleted objects, leaked news) over the comm and parallel
+layers only — the hand-rolled threading is where a path-sensitive
+verdict earns its ~10x compile cost.  That pass replaces the .clang-tidy
+check set via --checks=; everything else (discovery, gating, --require)
+is shared.
 """
 import argparse
 import json
@@ -31,6 +39,13 @@ DEFAULT_BUILD_DIRS = ("build/release", "build/debug", "build/tsan",
                       "build/asan", "build/serial")
 SOURCE_PREFIXES = ("src/", "apps/", "bench/", "tests/", "examples/")
 VERSIONS = range(21, 13, -1)
+
+# --analyzer: path-sensitive Clang Static Analyzer packages, scoped to
+# the layers whose bugs are cross-thread and therefore cheapest to catch
+# statically.  clang-analyzer-deadcode/optin are excluded on purpose —
+# their findings on this tree are style-tier and already covered.
+ANALYZER_CHECKS = "-*,clang-analyzer-core.*,clang-analyzer-cplusplus.*"
+ANALYZER_PREFIXES = ("src/comm/", "src/parallel/")
 
 
 def find_clang_tidy():
@@ -74,9 +89,9 @@ def select_sources(root, build_dir, path_filters):
 
 
 def run_one(args):
-    binary, build_dir, source = args
+    binary, build_dir, source, extra = args
     proc = subprocess.run(
-        [binary, "-p", build_dir, "--quiet", source],
+        [binary, "-p", build_dir, "--quiet"] + extra + [source],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
     return source, proc.returncode, proc.stdout
 
@@ -90,9 +105,16 @@ def main(argv):
                              "instead of skipping")
     parser.add_argument("--jobs", type=int,
                         default=max(1, multiprocessing.cpu_count() - 1))
+    parser.add_argument("--analyzer", action="store_true",
+                        help="run the Clang Static Analyzer packages "
+                             "(clang-analyzer-core.*, -cplusplus.*) over "
+                             "the comm/parallel layers instead of the "
+                             ".clang-tidy check set")
     parser.add_argument("paths", nargs="*",
                         help="restrict to these repo-relative prefixes")
     opts = parser.parse_args(argv[1:])
+    if opts.analyzer and not opts.paths:
+        opts.paths = list(ANALYZER_PREFIXES)
 
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     binary = find_clang_tidy()
@@ -116,11 +138,20 @@ def main(argv):
         print("FAIL compile_commands.json lists no in-tree sources")
         return 2
 
-    print(f"running {binary} over {len(sources)} TU(s) "
+    extra = []
+    mode = ".clang-tidy"
+    if opts.analyzer:
+        # --checks replaces the .clang-tidy set for this invocation;
+        # analyzer diagnostics are promoted to errors so the gate fails
+        # on any finding, matching the WarningsAsErrors policy.
+        extra = [f"--checks={ANALYZER_CHECKS}",
+                 "--warnings-as-errors=clang-analyzer-*"]
+        mode = "clang-analyzer core/cplusplus"
+    print(f"running {binary} ({mode}) over {len(sources)} TU(s) "
           f"[{os.path.relpath(build_dir, root)}] with {opts.jobs} job(s)")
     failures = 0
     with multiprocessing.Pool(opts.jobs) as pool:
-        work = [(binary, build_dir, s) for s in sources]
+        work = [(binary, build_dir, s, extra) for s in sources]
         for source, code, output in pool.imap_unordered(run_one, work):
             rel = os.path.relpath(source, root)
             if code != 0:
@@ -131,9 +162,9 @@ def main(argv):
                 # Zero exit but noise (e.g. suppressed-warning summary).
                 print(f"ok   {rel}")
     if failures:
-        print(f"{failures}/{len(sources)} TU(s) failed the clang-tidy gate")
+        print(f"{failures}/{len(sources)} TU(s) failed the {mode} gate")
         return 1
-    print(f"OK   {len(sources)} TU(s) clean under .clang-tidy")
+    print(f"OK   {len(sources)} TU(s) clean under {mode}")
     return 0
 
 
