@@ -20,9 +20,12 @@
 #include <string>
 #include <vector>
 
+#include "comm/mailbox.hpp"
+#include "comm/transport.hpp"
 #include "common/options.hpp"
 #include "driver/driver.hpp"
 #include "driver/scenario.hpp"
+#include "driver/supervisor.hpp"
 
 namespace {
 
@@ -33,6 +36,8 @@ int usage(std::FILE* out) {
                "usage:\n"
                "  v6d run <scenario.cfg | scenario-name> [key=value ...]\n"
                "  v6d resume <checkpoint-dir> [key=value ...]\n"
+               "  v6d supervise <scenario.cfg | scenario-name | checkpoint-dir>"
+               " [key=value ...]\n"
                "  v6d scenarios\n"
                "\n"
                "common keys: a_final, da_max, max_steps, wall_budget_s,\n"
@@ -40,7 +45,9 @@ int usage(std::FILE* out) {
                "             progress_every, perf_report, seed, box, nx,\n"
                "             nu, np, mnu, ranks, decomp\n"
                "             spawn=N forks N local processes over TCP\n"
-               "             (see docs/CONFIG.md for all)\n");
+               "             restart=on-failure supervises the spawned world\n"
+               "             (max_restarts, min_world, shrink_after,\n"
+               "             supervise_log tune it; see docs/CONFIG.md)\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -130,6 +137,67 @@ int spawn_world(const std::string& command, const std::string& target,
   return exit_code;
 }
 
+/// Keys the supervisor itself consumes; never forwarded to workers (the
+/// transport wiring is re-derived per round, the rest would re-trigger
+/// supervision inside a worker).
+bool is_supervisor_key(const std::string& key) {
+  return key == "spawn" || key == "restart" || key == "max_restarts" ||
+         key == "min_world" || key == "shrink_after" ||
+         key == "supervise_log" || key == "transport" || key == "rank" ||
+         key == "world" || key == "transport_hosts";
+}
+
+/// spawn=N restart=on-failure: run the forked world under the supervised
+/// checkpoint-restart loop instead of the fire-and-forget spawn_world.
+int run_supervised_world(const std::string& command, const std::string& target,
+                         const Options& options, int world) {
+  const std::string restart = options.get("restart", "never");
+  if (restart != "never" && restart != "on-failure") {
+    std::fprintf(stderr,
+                 "v6d: restart must be 'never' or 'on-failure' (got '%s')\n",
+                 restart.c_str());
+    return 2;
+  }
+  driver::SupervisorOptions sup;
+  sup.command = command;
+  sup.target = target;
+  sup.world = world;
+  sup.restart_on_failure = restart == "on-failure";
+  sup.max_restarts = options.get_int("max_restarts", sup.max_restarts);
+  sup.min_world = options.get_int("min_world", sup.min_world);
+  sup.shrink_after = options.get_int("shrink_after", sup.shrink_after);
+  sup.checkpoint_dir = options.get("checkpoint_dir", "");
+  sup.supervise_log = options.get("supervise_log", "");
+  for (const auto& key : options.keys())
+    if (!is_supervisor_key(key))
+      sup.passthrough.emplace_back(key, options.get(key, ""));
+  return driver::run_supervised(sup).exit_code;
+}
+
+int cmd_supervise(const std::string& target, Options options) {
+  // The target decides the initial verb: a directory with a committed
+  // meta is a checkpoint to resume; otherwise it is a scenario name or
+  // config file to run, exactly as `v6d run` would take it.
+  std::string command = "run";
+  if (std::filesystem::exists(std::filesystem::path(target) / "meta")) {
+    command = "resume";
+    // Keep probing (and checkpointing) the directory we resume from
+    // unless the caller redirects it explicitly.
+    options.set_default("checkpoint_dir", target);
+  } else if (driver::find_scenario(target)) {
+    options.set_default("scenario", target);
+  } else {
+    std::string error;
+    if (!options.load_file(target, &error)) {
+      std::fprintf(stderr, "v6d supervise: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  options.set_default("restart", "on-failure");
+  const int world = options.get_int("spawn", 2);
+  return run_supervised_world(command, target, options, world);
+}
+
 int cmd_run(const std::string& target, Options options) {
   // A bare registry name runs the scenario on its defaults; anything else
   // is a config file path.
@@ -143,7 +211,11 @@ int cmd_run(const std::string& target, Options options) {
     }
   }
   const int spawn = options.get_int("spawn", 0);
-  if (spawn > 1) return spawn_world("run", target, options, spawn);
+  if (spawn > 1) {
+    if (options.get("restart", "never") != "never")
+      return run_supervised_world("run", target, options, spawn);
+    return spawn_world("run", target, options, spawn);
+  }
 
   driver::SimulationConfig cfg = driver::make_config(options);
   // In a multi-process world only the rank-0 process narrates; peers run
@@ -160,7 +232,14 @@ int cmd_run(const std::string& target, Options options) {
 
 int cmd_resume(const std::string& dir, const Options& options) {
   const int spawn = options.get_int("spawn", 0);
-  if (spawn > 1) return spawn_world("resume", dir, options, spawn);
+  if (spawn > 1) {
+    if (options.get("restart", "never") != "never") {
+      Options sup = options;
+      sup.set_default("checkpoint_dir", dir);
+      return run_supervised_world("resume", dir, sup, spawn);
+    }
+    return spawn_world("resume", dir, options, spawn);
+  }
 
   const bool lead = options.get("transport", "inproc") != "tcp" ||
                     options.get_int("rank", 0) == 0;
@@ -190,6 +269,19 @@ int main(int argc, char** argv) {
       return command == "run" ? cmd_run(cli.positional[1], cli.options)
                               : cmd_resume(cli.positional[1], cli.options);
     }
+    if (command == "supervise") {
+      if (cli.positional.size() != 2) return usage(stderr);
+      return cmd_supervise(cli.positional[1], cli.options);
+    }
+  } catch (const comm::TransportError& e) {
+    // Transport-level failures (lost peer, liveness deadline, aborted
+    // world) are the machine's fault, not the config's: exit with the
+    // EX_TEMPFAIL-style code so a supervisor knows a restart can help.
+    std::fprintf(stderr, "v6d %s: %s\n", command.c_str(), e.what());
+    return driver::kTransientExitCode;
+  } catch (const comm::AbortedError& e) {
+    std::fprintf(stderr, "v6d %s: %s\n", command.c_str(), e.what());
+    return driver::kTransientExitCode;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "v6d %s: %s\n", command.c_str(), e.what());
     return 1;

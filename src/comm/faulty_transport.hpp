@@ -18,6 +18,7 @@
 #include <memory>
 #include <random>
 
+#include "comm/retry.hpp"
 #include "comm/transport.hpp"
 
 namespace v6d::comm {
@@ -37,8 +38,30 @@ struct FaultPlan {
   /// mid-frame and the world aborts.  -1 = never.
   long fail_send_after = -1;
   /// Abrupt disconnect (inner->fail_hard()) on the Nth send() — peers see
-  /// a dead connection, possibly with a partial frame.  -1 = never.
+  /// a dead connection, possibly with a partial frame.  -1 = never.  This
+  /// is the scripted peer-loss-at-message-K schedule.
   long disconnect_after = -1;
+
+  // ---- scripted schedules (deterministic by construction, no dice) ----
+  /// Transient outage starting at the Nth send(): that send's link is
+  /// down for `transient_outage` consecutive attempts.  The decorator
+  /// retries on the `retry` schedule and re-sends the undelivered frame
+  /// once the outage clears — inside the retry grace window the fault is
+  /// invisible to peers (the frame arrives exactly once, just late).
+  /// If the schedule exhausts first, the world aborts with
+  /// TransportError{kInjected}.  -1 = never.
+  long transient_fail_at = -1;
+  /// How many attempts the scripted outage eats before the link heals.
+  int transient_outage = 1;
+  /// Backoff schedule for transient retries; max_attempts bounds the
+  /// grace window (0 = retry forever, which a scripted outage always
+  /// outlasts eventually).
+  RetryPolicy retry{1.0, 8.0, 2.0, 0.0, 6, 0x5eedu};
+  /// Teardown race: shutdown() flushes goodbyes, then drops every
+  /// connection immediately (inner->depart_abruptly()) instead of
+  /// lingering for the peers' goodbyes — a rank reaped right after its
+  /// final barrier.  Peers must see a departure, not a crash.
+  bool vanish_after_bye = false;
 };
 
 class FaultyTransport final : public Transport {
@@ -75,16 +98,23 @@ class FaultyTransport final : public Transport {
   void abort() noexcept override { inner_->abort(); }
   bool aborted() const override { return inner_->aborted(); }
   void fail_hard() noexcept override { inner_->fail_hard(); }
-  void shutdown() override { inner_->shutdown(); }
+  /// Honors plan.vanish_after_bye (goodbye-then-drop); otherwise
+  /// forwards the graceful teardown.
+  void shutdown() override;
+  void depart_abruptly() override { inner_->depart_abruptly(); }
+  void rethrow_diagnosis() override { inner_->rethrow_diagnosis(); }
 
   /// Number of send() calls observed so far (fired or not).
   long sends_seen() const { return sends_; }
+  /// Retry attempts burned by scripted transient outages so far.
+  int transient_retries() const { return transient_retries_; }
 
  private:
   std::unique_ptr<Transport> inner_;
   FaultPlan plan_;
   std::mt19937_64 rng_;
   long sends_ = 0;
+  int transient_retries_ = 0;
 };
 
 }  // namespace v6d::comm

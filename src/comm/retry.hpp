@@ -1,0 +1,99 @@
+// Bounded exponential backoff with deterministic jitter — the retry
+// policy object behind every transient-fault recovery path in the comm
+// layer and the supervisor.
+//
+// The same schedule drives three very different waits:
+//   * TcpTransport mesh setup — rendezvous polling and connection dials
+//     retry until the deadline (ranks of a job never start
+//     simultaneously, and a hello write that dies mid-handshake is
+//     simply re-dialed: nothing but the idempotent hello frame was in
+//     flight, so the re-send is safe).
+//   * FaultyTransport scripted transient faults — a send that hits an
+//     injected link outage is retried on this schedule and the
+//     undelivered frame re-sent once the outage clears, proving the
+//     retry surface deterministic in unit tests.
+//   * driver::run_supervised — worker relaunch pacing after a failure.
+//
+// Jitter is deterministic: a splitmix64 stream seeded from the policy,
+// so a given (policy, attempt) pair always produces the same delay and
+// a failing test replays exactly.  Jitter shortens delays (never
+// lengthens them), keeping the schedule bounded by the un-jittered
+// exponential curve.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace v6d::comm {
+
+/// What a retry loop is allowed to do.  `max_attempts == 0` means the
+/// schedule itself never gives up — the caller bounds the loop with a
+/// deadline instead (the mesh-setup shape).
+struct RetryPolicy {
+  double initial_delay_ms = 1.0;
+  double max_delay_ms = 100.0;
+  double multiplier = 2.0;
+  /// Fraction [0, 1) of each delay that deterministic jitter may shave
+  /// off; 0 keeps the raw exponential curve.
+  double jitter = 0.0;
+  int max_attempts = 0;
+  std::uint64_t seed = 0x5eedu;
+};
+
+/// One retry loop's state: hands out successive delays and tracks the
+/// attempt budget.  Cheap to construct per loop; copyable.
+class RetrySchedule {
+ public:
+  explicit RetrySchedule(const RetryPolicy& policy)
+      : policy_(policy),
+        delay_ms_(policy.initial_delay_ms),
+        rng_state_(policy.seed) {}
+
+  /// Delay to sleep before the next attempt, advancing the schedule.
+  /// Deterministic for a given (policy, attempt index).
+  double next_delay_ms() {
+    ++attempts_;
+    double delay = delay_ms_;
+    if (policy_.jitter > 0.0)
+      delay *= 1.0 - policy_.jitter * next_uniform();
+    delay_ms_ = std::min(delay_ms_ * policy_.multiplier,
+                         policy_.max_delay_ms);
+    return delay;
+  }
+
+  /// Attempts handed out so far (next_delay_ms calls).
+  int attempts() const { return attempts_; }
+
+  /// True once the attempt budget is spent (never for max_attempts 0).
+  bool exhausted() const {
+    return policy_.max_attempts > 0 && attempts_ >= policy_.max_attempts;
+  }
+
+  /// Rewind to attempt 0 with the original delay and jitter stream —
+  /// the schedule replays identically after a reset.
+  void reset() {
+    attempts_ = 0;
+    delay_ms_ = policy_.initial_delay_ms;
+    rng_state_ = policy_.seed;
+  }
+
+ private:
+  /// splitmix64 step mapped to [0, 1): small, seedable, and identical
+  /// on every platform — unlike std::mt19937 distributions, whose
+  /// mapping is implementation-defined.
+  double next_uniform() {
+    rng_state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = rng_state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+
+  RetryPolicy policy_;
+  double delay_ms_;
+  std::uint64_t rng_state_;
+  int attempts_ = 0;
+};
+
+}  // namespace v6d::comm

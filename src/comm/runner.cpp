@@ -67,6 +67,8 @@ void run_transport(int nranks, const LaunchOptions& options,
           tcp_options.world = nranks;
           tcp_options.hosts = rendezvous;
           tcp_options.timeout_s = options.timeout_s;
+          tcp_options.liveness_timeout_s = options.liveness_timeout_s;
+          tcp_options.heartbeat_interval_s = options.heartbeat_interval_s;
           transport = std::make_unique<TcpTransport>(tcp_options);
         } else {
           transport = std::make_unique<InProcTransport>(&*ctx, r);
@@ -77,7 +79,16 @@ void run_transport(int nranks, const LaunchOptions& options,
         transport->shutdown();
       } catch (const AbortedError&) {
         // A peer already failed and aborted the world; its error is the
-        // one worth reporting, so secondary unwind noise is dropped.
+        // one worth reporting, so secondary unwind noise is dropped —
+        // unless THIS rank's endpoint diagnosed the primary failure (a
+        // lost peer, a liveness deadline): then the diagnosis is the
+        // report, since the dead rank will never speak for itself.
+        try {
+          if (transport) transport->rethrow_diagnosis();
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);

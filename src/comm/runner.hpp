@@ -27,6 +27,14 @@ struct LaunchOptions {
   std::string rendezvous;
   /// tcp: rendezvous/connect/teardown timeout.
   double timeout_s = 30.0;
+  /// tcp: liveness deadline — a peer silent for this long is declared
+  /// lost (TransportError{kPeerLost, rank}).  0 disables detection, the
+  /// default here and the only meaningful setting for inproc (thread
+  /// ranks cannot vanish without unwinding).
+  double liveness_timeout_s = 0.0;
+  /// tcp: heartbeat send period; 0 derives it from the liveness
+  /// deadline, negative disables sending (see TcpOptions).
+  double heartbeat_interval_s = 0.0;
   /// Optional per-rank decorator applied to every endpoint before use —
   /// the fault-injection hook (wrap rank k in a FaultyTransport, pass the
   /// rest through).  Called on the rank's own thread.

@@ -17,6 +17,7 @@
 #include <fstream>
 #include <thread>
 
+#include "comm/retry.hpp"
 #include "common/log.hpp"
 
 namespace v6d::comm {
@@ -32,11 +33,12 @@ constexpr std::uint32_t kMagic = 0x76364431;  // "v6D1"
 constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{1} << 34;  // 16 GiB
 
 enum FrameKind : std::uint8_t {
-  kHello = 1,     // connection handshake; tag = dialing rank
-  kData = 2,      // user p2p message (Communicator::send)
-  kInternal = 3,  // collective/control channel (barrier, gathers)
-  kBye = 4,       // graceful close follows; EOF after this is clean
-  kAbort = 5,     // sender aborted the world
+  kHello = 1,      // connection handshake; tag = dialing rank
+  kData = 2,       // user p2p message (Communicator::send)
+  kInternal = 3,   // collective/control channel (barrier, gathers)
+  kBye = 4,        // graceful close follows; EOF after this is clean
+  kAbort = 5,      // sender aborted the world
+  kHeartbeat = 6,  // liveness beacon (tag = kHeartbeatTag, no payload)
 };
 
 struct FrameHeader {
@@ -185,7 +187,16 @@ struct TcpTransport::PeerRx {
 TcpTransport::TcpTransport(const TcpOptions& options)
     : rank_(options.rank),
       world_(options.world),
-      timeout_s_(options.timeout_s) {
+      timeout_s_(options.timeout_s),
+      liveness_timeout_s_(options.liveness_timeout_s) {
+  if (options.heartbeat_interval_s > 0.0) {
+    heartbeat_interval_s_ = options.heartbeat_interval_s;
+  } else if (options.heartbeat_interval_s == 0.0 &&
+             liveness_timeout_s_ > 0.0) {
+    // Beat well inside the deadline so one dropped poll round cannot
+    // false-positive a healthy but idle peer.
+    heartbeat_interval_s_ = std::max(liveness_timeout_s_ / 4.0, 1e-3);
+  }
   if (world_ <= 0 || rank_ < 0 || rank_ >= world_)
     throw TransportError("bad tcp rank/world: rank=" + std::to_string(rank_) +
                          " world=" + std::to_string(world_));
@@ -240,6 +251,20 @@ void TcpTransport::connect_mesh(const TcpOptions& options) {
   const auto deadline =
       Clock::now() + std::chrono::duration<double>(timeout_s_);
 
+  // Backoff for every mesh-setup retry loop below.  Unbounded attempts —
+  // the deadline is the budget — with jitter seeded per rank so a whole
+  // job restarting at once does not dial in lockstep, yet each rank's
+  // delay sequence replays identically for a given seed.
+  RetryPolicy dial_policy;
+  dial_policy.initial_delay_ms = 1.0;
+  dial_policy.max_delay_ms = options.backoff_max_ms;
+  dial_policy.jitter = 0.25;
+  dial_policy.seed = 0x5eedu + static_cast<std::uint64_t>(rank_);
+  const auto backoff = [](RetrySchedule& schedule) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(schedule.next_delay_ms()));
+  };
+
   // 2. Rendezvous: publish our address, learn the peers'.
   std::vector<HostPort> peers(static_cast<std::size_t>(world_));
   if (explicit_list) {
@@ -263,7 +288,7 @@ void TcpTransport::connect_mesh(const TcpOptions& options) {
     // need no lookup.
     for (int r = 0; r < rank_; ++r) {
       const fs::path theirs = dir / ("rank." + std::to_string(r));
-      double backoff_ms = 1.0;
+      RetrySchedule schedule(dial_policy);
       for (;;) {
         std::ifstream in(theirs);
         std::string line;
@@ -271,20 +296,23 @@ void TcpTransport::connect_mesh(const TcpOptions& options) {
             parse_host_port(line, peers[static_cast<std::size_t>(r)]))
           break;
         if (Clock::now() >= deadline)
-          throw TransportError("rendezvous timeout waiting for " +
-                               theirs.string());
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(backoff_ms));
-        backoff_ms = std::min(backoff_ms * 2.0, options.backoff_max_ms);
+          throw TransportError(TransportFault::kTimeout, r,
+                               "rendezvous timeout waiting for " +
+                                   theirs.string());
+        backoff(schedule);
       }
     }
   }
 
   // 3. Dial every lower rank (retry with backoff — it may not be
-  //    listening yet) and introduce ourselves with a hello frame.
+  //    listening yet) and introduce ourselves with a hello frame.  A
+  //    connection that dies before the hello lands is re-dialed within
+  //    the same deadline: only the idempotent hello was in flight, so a
+  //    fresh connection plus a re-sent hello is indistinguishable from a
+  //    first attempt (the peer discards the dead socket on EOF).
   for (int r = 0; r < rank_; ++r) {
     const HostPort& hp = peers[static_cast<std::size_t>(r)];
-    double backoff_ms = 1.0;
+    RetrySchedule schedule(dial_policy);
     int fd = -1;
     for (;;) {
       addrinfo hints{};
@@ -299,25 +327,22 @@ void TcpTransport::connect_mesh(const TcpOptions& options) {
         if (fd >= 0 &&
             ::connect(fd, res->ai_addr, res->ai_addrlen) == 0) {
           ::freeaddrinfo(res);
-          break;
+          FrameHeader hello{kMagic, kHello, {0, 0, 0}, rank_, 0};
+          if (write_fully_blocking(fd, &hello, sizeof(hello))) break;
+          ::close(fd);  // reset mid-handshake: re-dial, re-introduce
+          fd = -1;
+        } else {
+          if (fd >= 0) ::close(fd);
+          fd = -1;
+          ::freeaddrinfo(res);
         }
-        if (fd >= 0) ::close(fd);
-        fd = -1;
-        ::freeaddrinfo(res);
       }
       if (Clock::now() >= deadline)
-        throw TransportError("connect timeout dialing rank " +
-                             std::to_string(r) + " at " + hp.host + ":" +
-                             std::to_string(hp.port));
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(backoff_ms));
-      backoff_ms = std::min(backoff_ms * 2.0, options.backoff_max_ms);
-    }
-    FrameHeader hello{kMagic, kHello, {0, 0, 0}, rank_, 0};
-    if (!write_fully_blocking(fd, &hello, sizeof(hello))) {
-      ::close(fd);
-      throw TransportError("hello write to rank " + std::to_string(r) +
-                           " failed");
+        throw TransportError(TransportFault::kTimeout, r,
+                             "connect timeout dialing rank " +
+                                 std::to_string(r) + " at " + hp.host + ":" +
+                                 std::to_string(hp.port));
+      backoff(schedule);
     }
     peer_fd_[static_cast<std::size_t>(r)] = fd;
   }
@@ -329,19 +354,26 @@ void TcpTransport::connect_mesh(const TcpOptions& options) {
     const int ready = ::poll(&pfd, 1, 100);
     if (ready <= 0) {
       if (Clock::now() >= deadline)
-        throw TransportError("accept timeout: " + std::to_string(expected) +
-                             " higher rank(s) never dialed in");
+        throw TransportError(TransportFault::kTimeout, -1,
+                             "accept timeout: " + std::to_string(expected) +
+                                 " higher rank(s) never dialed in");
       continue;
     }
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     FrameHeader hello{};
-    if (!read_fully_blocking(fd, &hello, sizeof(hello), timeout_s_) ||
-        hello.magic != kMagic || hello.kind != kHello || hello.size != 0 ||
+    if (!read_fully_blocking(fd, &hello, sizeof(hello), timeout_s_)) {
+      // The dialer hung up mid-handshake (it will re-dial); just drop
+      // the dead socket and keep accepting.
+      ::close(fd);
+      continue;
+    }
+    if (hello.magic != kMagic || hello.kind != kHello || hello.size != 0 ||
         hello.tag <= rank_ || hello.tag >= world_ ||
         peer_fd_[static_cast<std::size_t>(hello.tag)] != -1) {
       ::close(fd);
-      throw TransportError("bad hello on accepted connection");
+      throw TransportError(TransportFault::kProtocol, -1,
+                           "bad hello on accepted connection");
     }
     peer_fd_[static_cast<std::size_t>(hello.tag)] = fd;
     --expected;
@@ -389,6 +421,33 @@ void TcpTransport::wake_receiver() noexcept {
   }
 }
 
+void TcpTransport::send_goodbyes() noexcept {
+  // Flag first: once set, the receiver treats an EOF without a goodbye
+  // as a peer that left the same teardown window we are in — we have
+  // promised to send nothing more, so there is nothing left to lose.
+  bye_sent_.store(true, std::memory_order_release);
+  for (int r = 0; r < world_; ++r) {
+    if (r == rank_) continue;
+    const int fd = peer_fd_[static_cast<std::size_t>(r)];
+    if (fd < 0) continue;
+    FrameHeader header{kMagic, kBye, {0, 0, 0}, 0, 0};
+    bool sent;
+    {
+      std::lock_guard<std::mutex> lock(
+          *send_mutex_[static_cast<std::size_t>(r)]);
+      sent = write_fully_blocking(fd, &header, sizeof(header));
+    }
+    if (!sent) {
+      // This peer is already gone (EPIPE/reset).  During teardown that
+      // is a departure, not a crash: mark its goodbye as seen so the
+      // wait below completes, and keep flushing goodbyes to the rest.
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      bye_seen_[static_cast<std::size_t>(r)] = true;
+      state_cv_.notify_all();
+    }
+  }
+}
+
 void TcpTransport::shutdown() {
   if (shutdown_done_) return;
   shutdown_done_ = true;
@@ -396,14 +455,7 @@ void TcpTransport::shutdown() {
     // Goodbyes: tell every peer our stream ends cleanly, then wait for
     // theirs so closing our sockets cannot be mistaken for a crash (and
     // cannot yank frames a slower peer is still reading).
-    for (int r = 0; r < world_; ++r) {
-      if (r == rank_) continue;
-      try {
-        write_frame(r, kBye, 0, nullptr, 0);
-      } catch (...) {
-        break;  // world aborted mid-goodbye; nothing left to flush
-      }
-    }
+    send_goodbyes();
     std::unique_lock<std::mutex> lock(state_mutex_);
     const auto deadline =
         Clock::now() + std::chrono::duration<double>(timeout_s_);
@@ -415,6 +467,15 @@ void TcpTransport::shutdown() {
       return true;
     });
   }
+  close_all();
+}
+
+void TcpTransport::depart_abruptly() {
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  if (world_ > 1 && !aborted()) send_goodbyes();
+  // No wait for the peers' goodbyes: the connections drop now, which is
+  // exactly the goodbye/close race peers must absorb without aborting.
   close_all();
 }
 
@@ -461,13 +522,24 @@ void TcpTransport::fail_hard() noexcept {
   close_all();
 }
 
-void TcpTransport::remote_abort(const std::string& why) noexcept {
+void TcpTransport::remote_abort(TransportFault fault, int peer,
+                                const std::string& why) noexcept {
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
-    if (abort_why_.empty()) abort_why_ = why;
+    if (abort_why_.empty()) {
+      abort_why_ = why;
+      abort_fault_ = fault;
+      abort_peer_ = peer;
+    }
   }
   log::warn("tcp transport: ", why);
   abort();
+}
+
+void TcpTransport::rethrow_diagnosis() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (!abort_why_.empty())
+    throw TransportError(abort_fault_, abort_peer_, abort_why_);
 }
 
 bool TcpTransport::write_frame(int dest, std::uint8_t kind, int tag,
@@ -475,8 +547,9 @@ bool TcpTransport::write_frame(int dest, std::uint8_t kind, int tag,
   const int fd = peer_fd_[static_cast<std::size_t>(dest)];
   if (fd < 0) {
     abort();
-    throw TransportError("send to rank " + std::to_string(dest) +
-                         " on a closed connection");
+    throw TransportError(TransportFault::kPeerLost, dest,
+                         "send to rank " + std::to_string(dest) +
+                             " on a closed connection");
   }
   FrameHeader header{kMagic, kind, {0, 0, 0}, tag,
                      static_cast<std::uint64_t>(bytes)};
@@ -515,10 +588,12 @@ bool TcpTransport::write_frame(int dest, std::uint8_t kind, int tag,
     }
   }
   if (channel_dead) {
-    remote_abort("connection to rank " + std::to_string(dest) +
-                 " failed mid-send");
-    throw TransportError("connection to rank " + std::to_string(dest) +
-                         " failed mid-send");
+    remote_abort(TransportFault::kPeerLost, dest,
+                 "connection to rank " + std::to_string(dest) +
+                     " failed mid-send");
+    throw TransportError(TransportFault::kPeerLost, dest,
+                         "connection to rank " + std::to_string(dest) +
+                             " failed mid-send");
   }
   return !aborted() || kind == kAbort;
 }
@@ -552,8 +627,7 @@ std::vector<std::uint8_t> TcpTransport::internal_pop(int source, int tag) {
   } catch (const AbortedError&) {
     // Surface the receiver thread's diagnosis when it was a transport
     // failure (peer died, framing violation) rather than a peer abort.
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    if (!abort_why_.empty()) throw TransportError(abort_why_);
+    rethrow_diagnosis();
     throw;
   }
 }
@@ -638,7 +712,8 @@ void TcpTransport::receiver_loop() {
       FrameHeader header;
       std::memcpy(&header, state.buf.data() + offset, sizeof(header));
       if (header.magic != kMagic || header.size > kMaxFrameBytes) {
-        remote_abort("framing violation from rank " + std::to_string(peer));
+        remote_abort(TransportFault::kProtocol, peer,
+                     "framing violation from rank " + std::to_string(peer));
         return false;
       }
       if (state.buf.size() - offset - sizeof(header) < header.size)
@@ -666,9 +741,12 @@ void TcpTransport::receiver_loop() {
           // remote_abort paths below, which diagnose transport failures.
           abort();
           return false;
+        case kHeartbeat:
+          break;  // liveness beacon: receiving it already reset the clock
         default:
-          remote_abort("unknown frame kind from rank " +
-                       std::to_string(peer));
+          remote_abort(TransportFault::kProtocol, peer,
+                       "unknown frame kind from rank " +
+                           std::to_string(peer));
           return false;
       }
       offset += sizeof(header) + size;
@@ -678,6 +756,81 @@ void TcpTransport::receiver_loop() {
                       state.buf.begin() +
                           static_cast<std::ptrdiff_t>(offset));
     return true;
+  };
+
+  // Liveness bookkeeping lives entirely on this thread: RX clocks reset
+  // on every byte that arrives, heartbeats go out on the poll cadence.
+  std::vector<Clock::time_point> last_rx(static_cast<std::size_t>(world_),
+                                         Clock::now());
+  auto last_beat = Clock::now();
+  const bool liveness_on = liveness_timeout_s_ > 0.0 && world_ > 1;
+  int poll_ms = 200;
+  if (heartbeat_interval_s_ > 0.0)
+    poll_ms = std::min(
+        poll_ms,
+        std::max(1, static_cast<int>(heartbeat_interval_s_ * 1000.0 / 2.0)));
+  if (liveness_on)
+    poll_ms = std::min(
+        poll_ms,
+        std::max(1, static_cast<int>(liveness_timeout_s_ * 1000.0 / 4.0)));
+
+  // Emit one heartbeat frame per open peer every heartbeat_interval_s_.
+  // Best-effort: a peer whose send lock is busy has data in flight (which
+  // keeps us live on its clock anyway), a full kernel buffer is skipped,
+  // and a dead channel is left for the read path to diagnose.
+  const auto beat = [&](Clock::time_point now) {
+    if (heartbeat_interval_s_ <= 0.0 || aborted()) return;
+    if (!heartbeats_enabled_.load(std::memory_order_relaxed)) return;
+    if (now - last_beat <
+        std::chrono::duration<double>(heartbeat_interval_s_))
+      return;
+    last_beat = now;
+    FrameHeader hb{kMagic, kHeartbeat, {0, 0, 0}, kHeartbeatTag, 0};
+    for (int r = 0; r < world_; ++r) {
+      if (r == rank_ || !rx[static_cast<std::size_t>(r)].open) continue;
+      const int fd = peer_fd_[static_cast<std::size_t>(r)];
+      if (fd < 0) continue;
+      std::unique_lock<std::mutex> lock(
+          *send_mutex_[static_cast<std::size_t>(r)], std::try_to_lock);
+      if (!lock.owns_lock()) continue;
+      // Checked under the peer's send lock: once our goodbye to this
+      // peer is out, nothing may follow it on the wire.
+      if (bye_sent_.load(std::memory_order_acquire)) return;
+      const ssize_t n = ::send(fd, &hb, sizeof(hb), MSG_NOSIGNAL);
+      if (n > 0 && n < static_cast<ssize_t>(sizeof(hb))) {
+        // The frame must not be torn: finish the straggling tail bytes
+        // (at most 23) so the stream stays parseable.
+        write_fully_blocking(
+            fd, reinterpret_cast<const std::uint8_t*>(&hb) + n,
+            sizeof(hb) - static_cast<std::size_t>(n));
+      }
+    }
+  };
+
+  // Declare lost any peer silent past the deadline — unless it already
+  // said goodbye (a departed peer owes us nothing).
+  const auto check_liveness = [&](Clock::time_point now) {
+    if (!liveness_on) return;
+    for (int r = 0; r < world_; ++r) {
+      PeerRx& state = rx[static_cast<std::size_t>(r)];
+      if (r == rank_ || !state.open) continue;
+      if (now - last_rx[static_cast<std::size_t>(r)] <=
+          std::chrono::duration<double>(liveness_timeout_s_))
+        continue;
+      bool departed;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        departed = bye_seen_[static_cast<std::size_t>(r)];
+      }
+      if (departed) continue;
+      char detail[96];
+      std::snprintf(detail, sizeof(detail),
+                    "rank %d missed its liveness deadline (no traffic for "
+                    "%.3f s)",
+                    r, liveness_timeout_s_);
+      remote_abort(TransportFault::kPeerLost, r, detail);
+      state.open = false;  // stop polling the wedged stream
+    }
   };
 
   while (!shutting_down_.load(std::memory_order_acquire)) {
@@ -691,8 +844,13 @@ void TcpTransport::receiver_loop() {
       owners.push_back(r);
     }
     if (pfds.size() == 1 && aborted()) break;  // every stream closed
-    const int ready = ::poll(pfds.data(), pfds.size(), 200);
+    const int ready = ::poll(pfds.data(), pfds.size(), poll_ms);
     if (ready < 0 && errno != EINTR) break;
+    {
+      const auto now = Clock::now();
+      beat(now);
+      check_liveness(now);
+    }
     if (ready <= 0) continue;
 
     if (pfds[0].revents & POLLIN) {
@@ -708,6 +866,7 @@ void TcpTransport::receiver_loop() {
       for (;;) {
         const ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
         if (n > 0) {
+          last_rx[static_cast<std::size_t>(peer)] = Clock::now();
           state.buf.insert(state.buf.end(), chunk.data(), chunk.data() + n);
           continue;
         }
@@ -733,11 +892,22 @@ void TcpTransport::receiver_loop() {
         std::lock_guard<std::mutex> lock(state_mutex_);
         clean = bye_seen_[static_cast<std::size_t>(peer)];
       }
+      if (!clean && bye_sent_.load(std::memory_order_acquire)) {
+        // Our goodbyes are already on the wire, so nothing is owed in
+        // either direction: a peer dropping in this window departed
+        // abruptly (goodbye-then-close), it did not crash our run.
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        bye_seen_[static_cast<std::size_t>(peer)] = true;
+        state_cv_.notify_all();
+        clean = true;
+      }
       if (!clean && !shutting_down_.load(std::memory_order_acquire) &&
           !aborted())
-        remote_abort("rank " + std::to_string(peer) +
-                     " disconnected mid-stream" +
-                     (state.buf.empty() ? "" : " (partial frame dropped)"));
+        remote_abort(TransportFault::kPeerLost, peer,
+                     "rank " + std::to_string(peer) +
+                         " disconnected mid-stream" +
+                         (state.buf.empty() ? ""
+                                            : " (partial frame dropped)"));
     }
   }
 }

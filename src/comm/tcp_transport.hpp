@@ -55,6 +55,16 @@ struct TcpOptions {
   double timeout_s = 60.0;
   /// Ceiling of the exponential connect backoff.
   double backoff_max_ms = 100.0;
+  /// Liveness deadline: a peer from which *nothing* (data, control or
+  /// heartbeat frames) arrives for this long is declared lost and the
+  /// world aborts with TransportError{kPeerLost, rank}.  0 disables
+  /// detection (the default — idle worlds are legal without it).
+  double liveness_timeout_s = 0.0;
+  /// Heartbeat send period.  0 = derive from the liveness deadline
+  /// (a quarter of it), so every configuration that *expects* traffic
+  /// also produces it; negative = never send (test hook for simulating
+  /// a wedged peer).
+  double heartbeat_interval_s = 0.0;
 };
 
 class TcpTransport final : public Transport {
@@ -88,9 +98,18 @@ class TcpTransport final : public Transport {
   }
   void fail_hard() noexcept override;
   void shutdown() override;
+  void depart_abruptly() override;
+  void rethrow_diagnosis() override;
 
   /// The port this rank's listener bound (useful with ephemeral ports).
   int port() const { return port_; }
+
+  /// Stop emitting heartbeat frames (test hook): to its peers this rank
+  /// now looks wedged — alive at the TCP level but silent — which is
+  /// exactly what a liveness deadline exists to catch.
+  void debug_suppress_heartbeats() noexcept {
+    heartbeats_enabled_.store(false, std::memory_order_relaxed);
+  }
 
  private:
   struct PeerRx;  // per-peer frame reassembly state (tcp_transport.cpp)
@@ -104,9 +123,15 @@ class TcpTransport final : public Transport {
                    std::size_t bytes);
   void internal_send(int dest, int tag, const void* data, std::size_t bytes);
   std::vector<std::uint8_t> internal_pop(int source, int tag);
-  /// Receiver-side failure: abort the world, remembering `why` so the
-  /// next blocking caller can surface a descriptive TransportError.
-  void remote_abort(const std::string& why) noexcept;
+  /// Receiver-side failure: abort the world, remembering the diagnosis
+  /// (fault class, peer, reason) so the next blocking caller can
+  /// surface a descriptive TransportError instead of a bare abort.
+  void remote_abort(TransportFault fault, int peer,
+                    const std::string& why) noexcept;
+  /// Best-effort goodbye to every peer.  A channel that fails mid-bye
+  /// marks that peer as already departed instead of aborting the world,
+  /// and never stops goodbyes to the remaining peers.
+  void send_goodbyes() noexcept;
   void wake_receiver() noexcept;
   void close_all() noexcept;
 
@@ -114,6 +139,8 @@ class TcpTransport final : public Transport {
   int world_ = 0;
   int port_ = 0;
   double timeout_s_ = 60.0;
+  double liveness_timeout_s_ = 0.0;
+  double heartbeat_interval_s_ = 0.0;  // resolved; <= 0 means never send
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};        // self-pipe: wakes the poll loop
@@ -125,11 +152,15 @@ class TcpTransport final : public Transport {
   std::atomic<bool> aborted_{false};
   std::atomic<std::uint32_t> op_seq_{0};  // collective sequence tags
 
-  std::mutex state_mutex_;             // guards bye_seen_ / abort_why_
+  std::mutex state_mutex_;  // guards bye_seen_ / abort_why_ & friends
   std::condition_variable state_cv_;
   std::vector<bool> bye_seen_;         // peer sent its goodbye frame
-  std::string abort_why_;
+  std::string abort_why_;              // first diagnosed failure wins
+  TransportFault abort_fault_ = TransportFault::kUnknown;
+  int abort_peer_ = -1;
   std::atomic<bool> shutting_down_{false};
+  std::atomic<bool> bye_sent_{false};  // our goodbyes are on the wire
+  std::atomic<bool> heartbeats_enabled_{true};
   bool shutdown_done_ = false;
   std::thread receiver_;
 };

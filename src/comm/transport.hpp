@@ -60,14 +60,51 @@ namespace v6d::comm {
 /// this floor.
 inline constexpr int kFirstUserTag = 64;
 
+/// Tag carried by transport liveness (heartbeat) frames inside the
+/// reserved internal channel.  Heartbeats are control traffic: they must
+/// never be matchable by a user receive, so the tag sits below
+/// kFirstUserTag — the `tag-space` analyze check verifies that every
+/// reserved-channel constant declared under src/comm/ stays inside
+/// [0, kFirstUserTag) and that no two reservations collide.
+inline constexpr int kHeartbeatTag = 0;
+
+/// Why a transport operation failed — the classification the failure
+/// detector and the supervisor act on.  kPeerLost and kTimeout are
+/// retryable from a checkpoint (the peer or the fabric died); kProtocol
+/// means corrupted framing (a bug or a bad actor, not worth retrying
+/// blindly); kInjected marks FaultyTransport's scripted faults so tests
+/// can assert the exact path taken.
+enum class TransportFault {
+  kUnknown,
+  kPeerLost,   // crash, EOF mid-stream, or missed liveness deadline
+  kTimeout,    // mesh establishment (rendezvous / connect / accept)
+  kProtocol,   // framing violation: bad magic, oversize, unknown kind
+  kInjected,   // scripted fault from FaultyTransport
+};
+
 /// Thrown by transport operations that fail for transport-level reasons
 /// (peer unreachable, connection lost, framing violation, injected
 /// fault).  Distinct from AbortedError: a TransportError identifies the
 /// *first* failure, AbortedError the secondary wakeups it causes.
+/// Carries the fault class and (when known) the peer rank involved, so
+/// callers — the driver's exit-code mapping, the supervisor's restart
+/// decision — can react without parsing the message.
 class TransportError : public std::runtime_error {
  public:
   explicit TransportError(const std::string& what)
       : std::runtime_error("transport: " + what) {}
+  TransportError(TransportFault fault, int peer, const std::string& what)
+      : std::runtime_error("transport: " + what),
+        fault_(fault),
+        peer_(peer) {}
+
+  TransportFault fault() const { return fault_; }
+  /// Rank of the peer involved in the failure; -1 when unknown.
+  int peer() const { return peer_; }
+
+ private:
+  TransportFault fault_ = TransportFault::kUnknown;
+  int peer_ = -1;
 };
 
 /// Read-only view of every rank's contribution to a staged collective.
@@ -132,6 +169,17 @@ class Transport {
   /// exit from a crash.  Idempotent; default no-op (in-process ranks junk
   /// their Context wholesale).
   virtual void shutdown() {}
+  /// Teardown for a rank that says goodbye but cannot linger: goodbyes
+  /// are flushed, then every connection drops immediately without
+  /// waiting for the peers' own goodbyes — the window a process killed
+  /// right after its final barrier exits through.  Peers must treat it
+  /// as a clean departure, not a crash.  Default = shutdown().
+  virtual void depart_abruptly() { shutdown(); }
+  /// If this endpoint diagnosed the failure that aborted the world
+  /// (lost peer, liveness deadline, framing violation), throw it as the
+  /// descriptive TransportError; otherwise return.  Lets a caller that
+  /// woke with a *secondary* AbortedError surface the primary cause.
+  virtual void rethrow_diagnosis() {}
 };
 
 }  // namespace v6d::comm

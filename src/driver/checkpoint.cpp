@@ -1,5 +1,8 @@
 #include "driver/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +45,43 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+bool fsync_fd_path(const char* path, int open_flags) {
+  const int fd = ::open(path, open_flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+/// Make the directory's own entries (renames, creations) durable.
+bool fsync_dir(const std::string& dir) {
+  return fsync_fd_path(dir.c_str(), O_RDONLY | O_DIRECTORY);
+}
+
+/// Best-effort sweep of payload files the committed meta does not
+/// reference (superseded steps, ranks of an older topology).
+void sweep_unreferenced_payloads(const std::string& dir,
+                                 const Checkpoint& meta) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    const bool is_payload = name.rfind("phase_space.", 0) == 0 ||
+                            name.rfind("particles.", 0) == 0 ||
+                            name.rfind("forces.", 0) == 0;
+    if (!is_payload || name == meta.phase_space_file ||
+        name == meta.particles_file || name == meta.forces_file)
+      continue;
+    bool is_live_shard = false;
+    for (const auto& shard : meta.shard_files)
+      if (name == shard) {
+        is_live_shard = true;
+        break;
+      }
+    if (!is_live_shard) fs::remove(entry.path(), ec);
+  }
+}
+
 // fwrite/fread declare their buffer nonnull; an empty std::vector's
 // data() may be nullptr, so a zero-count transfer must short-circuit
 // before the call (UBSan: "null pointer passed as argument 1").
@@ -57,6 +97,10 @@ bool read_raw(std::FILE* fp, T* data, std::size_t count) {
 }
 
 }  // namespace
+
+bool fsync_file(const std::string& path) {
+  return fsync_fd_path(path.c_str(), O_RDONLY);
+}
 
 io::SnapshotStatus write_step_forces(
     const std::string& path, const hybrid::HybridSolver::StepForces& sf) {
@@ -171,11 +215,24 @@ io::SnapshotStatus write_checkpoint(
       set_error(error, tmp);
       return status;
     }
+    // Durability before visibility: the payload's bytes must be on
+    // stable storage before the rename publishes the name, or a crash
+    // could commit a meta that references a hole.
+    if (!fsync_file(tmp)) {
+      set_error(error, tmp);
+      return io::SnapshotStatus::kWriteFailed;
+    }
     fs::rename(tmp, path, ec);
     if (ec) {
       set_error(error, path);
       return io::SnapshotStatus::kWriteFailed;
     }
+    const auto size = fs::file_size(path, ec);
+    if (ec) {
+      set_error(error, path);
+      return io::SnapshotStatus::kWriteFailed;
+    }
+    meta.payload_bytes[name] = static_cast<std::uint64_t>(size);
     return io::SnapshotStatus::kOk;
   };
 
@@ -216,6 +273,25 @@ io::SnapshotStatus write_checkpoint(
     if (status != io::SnapshotStatus::kOk) return status;
   }
 
+  // Distributed shards were written (and fsynced) by their owning ranks
+  // before the commit barrier; record their sizes so resume can tell a
+  // complete shard set from a torn one.
+  for (const auto& shard : meta.shard_files) {
+    const auto size = fs::file_size(join(dir, shard), ec);
+    if (ec) {
+      set_error(error, join(dir, shard) + ": shard flagged but unreadable");
+      return io::SnapshotStatus::kOpenFailed;
+    }
+    meta.payload_bytes[shard] = static_cast<std::uint64_t>(size);
+  }
+
+  // Payload renames must be durable before the meta that references them
+  // commits — fsyncing the directory orders the two on disk.
+  if (!fsync_dir(dir)) {
+    set_error(error, dir + ": directory fsync failed");
+    return io::SnapshotStatus::kWriteFailed;
+  }
+
   const std::string meta_path = join(dir, kMetaName);
   const std::string tmp_path = meta_path + ".tmp";
   {
@@ -242,6 +318,10 @@ io::SnapshotStatus write_checkpoint(
     out << "phase_space_shards=" << meta.shard_files.size() << "\n";
     for (std::size_t r = 0; r < meta.shard_files.size(); ++r)
       out << "shard" << r << "=" << meta.shard_files[r] << "\n";
+    // Commit-time payload sizes (a version-2 reader that predates them
+    // ignores unknown fields, so no version bump).
+    for (const auto& [name, bytes] : meta.payload_bytes)
+      out << "bytes." << name << "=" << bytes << "\n";
     for (const auto& [key, value] : meta.config.to_kv())
       out << "cfg." << key << "=" << value << "\n";
     out.flush();
@@ -250,32 +330,25 @@ io::SnapshotStatus write_checkpoint(
       return io::SnapshotStatus::kWriteFailed;
     }
   }
+  if (!fsync_file(tmp_path)) {
+    set_error(error, tmp_path);
+    return io::SnapshotStatus::kWriteFailed;
+  }
   fs::rename(tmp_path, meta_path, ec);
   if (ec) {
     set_error(error, meta_path);
+    return io::SnapshotStatus::kWriteFailed;
+  }
+  // And make the commit itself durable.
+  if (!fsync_dir(dir)) {
+    set_error(error, dir + ": directory fsync failed");
     return io::SnapshotStatus::kWriteFailed;
   }
 
   // Garbage-collect payloads superseded by the meta that just landed
   // (best-effort; leftovers are harmless).  Per-rank shard payloads the
   // new meta references are live too.
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (ec) break;
-    const std::string name = entry.path().filename().string();
-    const bool is_payload = name.rfind("phase_space.", 0) == 0 ||
-                            name.rfind("particles.", 0) == 0 ||
-                            name.rfind("forces.", 0) == 0;
-    if (!is_payload || name == meta.phase_space_file ||
-        name == meta.particles_file || name == meta.forces_file)
-      continue;
-    bool is_live_shard = false;
-    for (const auto& shard : meta.shard_files)
-      if (name == shard) {
-        is_live_shard = true;
-        break;
-      }
-    if (!is_live_shard) fs::remove(entry.path(), ec);
-  }
+  sweep_unreferenced_payloads(dir, meta);
   return io::SnapshotStatus::kOk;
 }
 
@@ -383,8 +456,73 @@ io::SnapshotStatus read_checkpoint_meta(const std::string& dir,
   meta.has_phase_space = !meta.phase_space_file.empty();
   meta.has_particles = !meta.particles_file.empty();
   meta.has_forces = !meta.forces_file.empty();
+  // Commit-time payload sizes (absent in older metas).
+  meta.payload_bytes.clear();
+  for (const auto& [key, value] : fields) {
+    if (key.rfind("bytes.", 0) != 0) continue;
+    char* end = nullptr;
+    const std::uint64_t bytes = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || end == nullptr || *end != '\0') {
+      set_error(error, meta_path + ": bad payload size '" + value + "'");
+      return io::SnapshotStatus::kBadHeader;
+    }
+    meta.payload_bytes[key.substr(6)] = bytes;
+  }
   meta.config = SimulationConfig::from_kv(cfg_kv);
   return io::SnapshotStatus::kOk;
+}
+
+io::SnapshotStatus validate_checkpoint_payloads(const std::string& dir,
+                                                const Checkpoint& meta,
+                                                std::string* error) {
+  std::vector<std::string> names;
+  if (meta.has_phase_space) names.push_back(meta.phase_space_file);
+  if (meta.has_particles) names.push_back(meta.particles_file);
+  if (meta.has_forces) names.push_back(meta.forces_file);
+  for (const auto& shard : meta.shard_files) names.push_back(shard);
+  for (const auto& name : names) {
+    const std::string path = join(dir, name);
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    if (ec) {
+      set_error(error, "torn checkpoint: missing payload " + path);
+      return io::SnapshotStatus::kOpenFailed;
+    }
+    const auto recorded = meta.payload_bytes.find(name);
+    if (recorded != meta.payload_bytes.end() &&
+        static_cast<std::uint64_t>(size) != recorded->second) {
+      set_error(error, "torn checkpoint: " + path + " is " +
+                           std::to_string(size) + " bytes, meta recorded " +
+                           std::to_string(recorded->second));
+      return io::SnapshotStatus::kShortRead;
+    }
+  }
+  return io::SnapshotStatus::kOk;
+}
+
+void gc_checkpoint_leftovers(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return;
+  // In-flight tmp files are debris of a write that never committed.
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (entry.path().extension() == ".tmp") fs::remove(entry.path(), ec);
+  }
+  Checkpoint meta;
+  const std::string meta_path = join(dir, kMetaName);
+  const bool have_meta = fs::exists(meta_path, ec);
+  if (!have_meta) return;
+  if (read_checkpoint_meta(dir, meta) == io::SnapshotStatus::kOk &&
+      validate_checkpoint_payloads(dir, meta) == io::SnapshotStatus::kOk) {
+    // Healthy checkpoint: only shed what it does not reference.
+    sweep_unreferenced_payloads(dir, meta);
+    return;
+  }
+  // The committed meta itself is unreadable or references torn payloads:
+  // nothing here can be resumed from, so clear the directory and let the
+  // next launch start fresh.
+  fs::remove(meta_path, ec);
+  sweep_unreferenced_payloads(dir, Checkpoint{});
 }
 
 io::SnapshotStatus read_checkpoint_payload(

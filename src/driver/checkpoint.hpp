@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,13 @@ struct Checkpoint {
   /// has_phase_space; the meta lists the shards so garbage collection
   /// keeps them and resume knows the rank count they were written with.
   std::vector<std::string> shard_files;
+  /// Byte size of every payload the meta references, recorded at commit
+  /// time (`bytes.<name>=` meta lines).  Readers use it to reject torn
+  /// checkpoints — a shard that exists but is short means the commit
+  /// protocol was violated (e.g. a crash raced the rename on a
+  /// non-atomic filesystem).  Empty for pre-existing checkpoints, which
+  /// then only get an existence check.
+  std::map<std::string, std::uint64_t> payload_bytes;
 };
 
 /// Format version written by this build.
@@ -70,6 +78,27 @@ io::SnapshotStatus write_checkpoint(
 io::SnapshotStatus read_checkpoint_meta(const std::string& dir,
                                         Checkpoint& meta,
                                         std::string* error = nullptr);
+
+/// Check that every payload `meta` references exists with the byte size
+/// recorded at commit time (existence only for metas without recorded
+/// sizes).  A failure means the checkpoint is torn and must not be
+/// resumed from; *error names the offending payload.
+io::SnapshotStatus validate_checkpoint_payloads(const std::string& dir,
+                                                const Checkpoint& meta,
+                                                std::string* error = nullptr);
+
+/// Garbage-collect debris a crashed worker can leave in a checkpoint
+/// directory: in-flight `*.tmp` files always; when the committed meta is
+/// itself unreadable or torn (fails validate_checkpoint_payloads), the
+/// meta and every payload go too, so the next launch starts fresh
+/// instead of tripping over a corpse.  A valid checkpoint only loses
+/// payloads it does not reference.  Best-effort and idempotent.
+void gc_checkpoint_leftovers(const std::string& dir);
+
+/// Flush a written file's bytes (fsync by path) so a following rename
+/// publishes fully durable content.  Used by the checkpoint commit
+/// protocol and by distributed shard writers.
+bool fsync_file(const std::string& path);
 
 /// Read the payloads flagged in `meta` into the supplied containers.
 io::SnapshotStatus read_checkpoint_payload(

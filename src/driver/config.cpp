@@ -58,6 +58,8 @@ void SimulationConfig::apply(const Options& options) {
   rank = options.get_int("rank", rank);
   world = options.get_int("world", world);
   transport_hosts = options.get("transport_hosts", transport_hosts);
+  transport_timeout = options.get_double("transport_timeout",
+                                         transport_timeout);
 
   max_steps = options.get_int("max_steps", max_steps);
   checkpoint_every = options.get_int("checkpoint_every", checkpoint_every);
@@ -95,6 +97,7 @@ std::map<std::string, std::string> SimulationConfig::to_kv() const {
   kv["rank"] = fmt_int(rank);
   kv["world"] = fmt_int(world);
   kv["transport_hosts"] = transport_hosts;
+  kv["transport_timeout"] = fmt_double(transport_timeout);
   kv["max_steps"] = fmt_int(max_steps);
   kv["checkpoint_every"] = fmt_int(checkpoint_every);
   kv["checkpoint_dir"] = checkpoint_dir;

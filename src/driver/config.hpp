@@ -56,6 +56,11 @@ struct SimulationConfig {
                                      // V6D_TRANSPORT_HOSTS)
   std::string decomp = "";    // "DXxDYxDZ" rank topology ("" / "auto" =
                               // pick the most-cubic feasible split)
+  double transport_timeout = 0.0;  // tcp liveness deadline [s]: a peer
+                                   // silent this long is declared lost and
+                                   // the run aborts with a retryable
+                                   // TransportError (0 = detection off;
+                                   // meaningless for inproc)
   bool overlap = true;        // hide halo/fold/slab communication behind
                               // interior compute (bit-identical to the
                               // synchronous reference path; off = PR-4

@@ -51,6 +51,8 @@ void write_distributed_checkpoint(const SimulationConfig& cfg,
     const std::string path = (fs::path(dir) / name).string();
     const std::string tmp = path + ".tmp";
     auto status = io::write_phase_space(tmp, ds.local_f());
+    if (status == io::SnapshotStatus::kOk && !fsync_file(tmp))
+      status = io::SnapshotStatus::kWriteFailed;
     if (status == io::SnapshotStatus::kOk) {
       fs::rename(tmp, path, ec);
       if (ec) status = io::SnapshotStatus::kWriteFailed;
@@ -344,10 +346,19 @@ RunResult Driver::run_distributed() {
     tcp_options.rank = cfg_.rank;
     tcp_options.world = cfg_.world;
     tcp_options.hosts = cfg_.transport_hosts;
+    tcp_options.liveness_timeout_s = cfg_.transport_timeout;
     comm::TcpTransport transport(tcp_options);
     comm::Communicator comm(transport);
     try {
       rank_body(comm);
+    } catch (const comm::AbortedError&) {
+      transport.abort();
+      // A secondary wakeup, but this endpoint may know the primary cause
+      // (a lost peer, a liveness deadline) — surface that diagnosis so
+      // the process exits with the retryable transport classification
+      // instead of an anonymous abort.
+      transport.rethrow_diagnosis();
+      throw;
     } catch (...) {
       transport.abort();  // wake remote peers parked on this rank
       throw;

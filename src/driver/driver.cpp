@@ -64,6 +64,13 @@ Driver Driver::resume(const std::string& dir, const Options& overrides) {
     throw std::runtime_error("cannot read checkpoint meta (" +
                              std::string(io::to_string(status)) +
                              "): " + detail);
+  // A meta that references missing or short payloads is torn — resuming
+  // from it would rebuild garbage state, so refuse before reading any.
+  status = validate_checkpoint_payloads(dir, meta, &detail);
+  if (status != io::SnapshotStatus::kOk)
+    throw std::runtime_error("refusing to resume (" +
+                             std::string(io::to_string(status)) +
+                             "): " + detail);
   // Apply only keys the caller set explicitly.  A plain apply() would let
   // stray V6D_* environment variables override the checkpointed config
   // for every key the caller left alone — silently breaking bit-identical

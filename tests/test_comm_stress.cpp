@@ -16,15 +16,19 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "comm/cart.hpp"
 #include "comm/communicator.hpp"
 #include "comm/faulty_transport.hpp"
 #include "comm/runner.hpp"
+#include "comm/tcp_transport.hpp"
 #include "common/rng.hpp"
 #include "fft/parallel_fft.hpp"
 #include "mesh/decomposition.hpp"
@@ -603,5 +607,135 @@ TEST(CommStress, InjectedDropMidStormAbortsEverySchedule) {
         TransportError);
   }
 }
+
+// ---- abort vs liveness-deadline interleavings ---------------------------
+// The detection tier of docs/ROBUSTNESS.md has two wake-up paths that can
+// race: a rank dying loudly (abort fan-out over kAbort frames) and a rank
+// going silent (missed liveness deadline).  These storms pin both across
+// world sizes while peers park in every blocking primitive the solver
+// uses; whatever interleaving the scheduler picks, every rank must be
+// woken with a typed error — no failure path may hang.
+
+class LivenessStormRanks : public ::testing::TestWithParam<int> {};
+
+// Pure-timeout path: the last rank stops heartbeating and goes silent
+// while everyone else is parked across recv / handle-wait / barrier /
+// allreduce.  The deadline must wake all of them (and the silent rank
+// itself, via the fan-out) with kPeerLost naming the victim.
+TEST_P(LivenessStormRanks, SilentPeerWakesWaitersParkedEverywhere) {
+  const int p = GetParam();
+  const int victim = p - 1;
+  LaunchOptions options;
+  options.backend = "tcp";
+  options.timeout_s = 30.0;
+  options.liveness_timeout_s = 0.5;
+  try {
+    run_transport(p, options, [&](Communicator& comm) {
+      const int me = comm.rank();
+      comm.barrier();
+      if (me == victim) {
+        auto* tcp = dynamic_cast<TcpTransport*>(&comm.transport());
+        ASSERT_NE(tcp, nullptr);
+        tcp->debug_suppress_heartbeats();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+        double never = 0.0;
+        comm.recv(0, 960, &never, 1);  // the fan-out diagnosis lands here
+        FAIL() << "the silent rank must learn it was declared lost";
+      }
+      switch (me % 4) {
+        case 0: {
+          double sink = 0.0;
+          comm.recv(victim, 960, &sink, 1);  // never sent
+          break;
+        }
+        case 1: {
+          auto handle = comm.irecv(victim, 961);  // never sent
+          handle.wait();
+          break;
+        }
+        case 2:
+          comm.barrier();  // the silent victim never arrives
+          break;
+        default: {
+          double sum = me;
+          comm.allreduce_sum(&sum, 1);  // the victim never contributes
+          break;
+        }
+      }
+      FAIL() << "no survivor may outlive the missed deadline";
+    });
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.fault(), TransportFault::kPeerLost);
+    EXPECT_EQ(e.peer(), victim);
+  }
+}
+
+// Race the two paths directly: the victim's deadline clock is armed
+// (heartbeats suppressed) while rank 0 throws at a round-dependent offset
+// inside the deadline window — before it on early rounds, after it on the
+// last.  Either wake-up order must surface exactly one of the two typed
+// errors on every schedule.
+TEST_P(LivenessStormRanks, AbortRacingTheDeadlineNeverHangs) {
+  const int p = GetParam();
+  const int victim = p - 1;
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    LaunchOptions options;
+    options.backend = "tcp";
+    options.timeout_s = 30.0;
+    options.liveness_timeout_s = 0.5;
+    bool threw = false;
+    try {
+      run_transport(p, options, [&](Communicator& comm) {
+        const int me = comm.rank();
+        comm.barrier();
+        if (me == victim) {
+          auto* tcp = dynamic_cast<TcpTransport*>(&comm.transport());
+          ASSERT_NE(tcp, nullptr);
+          tcp->debug_suppress_heartbeats();
+        }
+        if (me == 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(50 + static_cast<long>(round) * 240));
+          throw std::runtime_error("storm abort rank died");
+        }
+        // The victim parks on the thrower; everyone else on the victim.
+        const int peer = (me == victim) ? 0 : victim;
+        switch (me % 4) {
+          case 0: {
+            double sink = 0.0;
+            comm.recv(peer, 970, &sink, 1);  // never sent
+            break;
+          }
+          case 1: {
+            auto handle = comm.irecv(peer, 971);  // never sent
+            handle.wait();
+            break;
+          }
+          case 2:
+            comm.barrier();  // the thrower never arrives
+            break;
+          default: {
+            double sum = me;
+            comm.allreduce_sum(&sum, 1);  // the thrower never contributes
+            break;
+          }
+        }
+        FAIL() << "no rank may outlive the abort/deadline race";
+      });
+      FAIL() << "run_transport must rethrow one of the racing errors";
+    } catch (const std::exception& e) {
+      threw = true;
+      const std::string what = e.what();
+      EXPECT_TRUE(what == "storm abort rank died" ||
+                  what.find("liveness deadline") != std::string::npos)
+          << "unexpected winner of the race: " << what;
+    }
+    EXPECT_TRUE(threw);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, LivenessStormRanks,
+                         ::testing::Values(2, 4, 8));
 
 }  // namespace

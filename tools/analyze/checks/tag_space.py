@@ -29,8 +29,13 @@ How the proof works, entirely statically:
 4.  All intervals and exact tags must sit at/above kFirstUserTag and be
     pairwise disjoint.
 
-src/comm/ itself is exempt: it is the machinery that moves tags, not a
-user of the tag space.
+src/comm/ itself is exempt from the call-site scan: it is the machinery
+that moves tags, not a user of the tag space.  Its tag *constants* are
+held to the inverse contract instead: an anchor declared inside src/comm/
+names a reserved internal channel (the heartbeat beacon, control frames),
+so its range must sit strictly below kFirstUserTag — inside the reserved
+band — and the reserved channels must be pairwise disjoint, or heartbeat
+and control frames would cross-match on a single-tag-space backend.
 """
 import re
 
@@ -39,8 +44,9 @@ from . import Finding
 
 NAME = "tag-space"
 DESCRIPTION = ("user tags at send/recv/irecv sites resolve statically, "
-               "stay >= comm::kFirstUserTag (reserved internal channel) "
-               "and tag-base ranges are pairwise disjoint")
+               "stay >= comm::kFirstUserTag (reserved internal channel), "
+               "tag-base ranges are pairwise disjoint, and src/comm/ "
+               "anchors stay inside the reserved band, also disjoint")
 
 FLOOR_CONSTANT = "kFirstUserTag"
 
@@ -136,8 +142,11 @@ def run(files):
                         av = consts[name].value
                         anchor_extra[name] = (min(lo, lo_v - av),
                                               max(hi, hi_v - av))
-    # Anchor intervals: value + direct offsets + consumer spans.
+    # Anchor intervals: value + direct offsets + consumer spans.  Anchors
+    # declared inside src/comm/ are reserved internal channels and live
+    # under the inverse contract (inside [0, floor), mutually disjoint).
     intervals = []
+    reserved = []
     for name, const in consts.items():
         if name == FLOOR_CONSTANT or not _ANCHOR_NAME.search(name):
             continue
@@ -148,6 +157,17 @@ def run(files):
                 lo_off = min(lo_off, span[0])
                 hi_off = max(hi_off, span[1])
         lo, hi = const.value + lo_off, const.value + hi_off
+        if _COMM_INTERNAL.search(const.rel):
+            reserved.append((lo, hi, name, const))
+            if not (0 <= lo and hi < floor_val):
+                findings.append(Finding(
+                    NAME, const.rel, const.line,
+                    f"reserved internal channel `{name}` spans "
+                    f"[{lo}, {hi}] but must sit inside the internal band "
+                    f"[0, {floor_val}) ({FLOOR_CONSTANT}); a src/comm/ "
+                    "tag constant in user space would collide with "
+                    "production exchanges"))
+            continue
         intervals.append((lo, hi, name, const))
         if lo < floor_val:
             findings.append(Finding(
@@ -155,6 +175,15 @@ def run(files):
                 f"tag range [{lo}, {hi}] of `{name}` overlaps the reserved "
                 f"internal collective channel [0, {floor_val}) "
                 f"({FLOOR_CONSTANT})"))
+    reserved.sort()
+    for prev, cur in zip(reserved, reserved[1:]):
+        if cur[0] <= prev[1]:
+            findings.append(Finding(
+                NAME, cur[3].rel, cur[3].line,
+                f"reserved internal channel `{cur[2]}` [{cur[0]}, {cur[1]}] "
+                f"overlaps `{prev[2]}` [{prev[0]}, {prev[1]}] (declared at "
+                f"{prev[3].rel}:{prev[3].line}); heartbeat and control "
+                "frames would cross-match"))
     intervals.sort()
     for prev, cur in zip(intervals, intervals[1:]):
         if cur[0] <= prev[1]:

@@ -1,0 +1,20 @@
+// Corpus: tag-space — clean reserved-channel fixture.  Anchors declared
+// under src/comm/ are the transport's internal channels: they must sit
+// strictly below kFirstUserTag and stay pairwise disjoint.  Zero
+// findings expected.
+
+constexpr int kFirstUserTag = 64;
+
+// The liveness beacon and a control channel, disjoint inside [0, 64).
+constexpr int kHeartbeatTag = 0;
+constexpr int kControlTagBase = 8;
+
+struct Comm {
+  void send(int peer, int tag, const double* p, int n);
+};
+
+// src/comm/ is exempt from the call-site scan: internal machinery may
+// drive reserved tags directly.
+void beat(Comm& comm, const double* p) {
+  comm.send(1, kHeartbeatTag, p, 0);
+}

@@ -1,0 +1,14 @@
+// Corpus: tag-space — seeded reserved-channel violations.  A src/comm/
+// anchor escaping the internal band, and two internal channels that
+// collide with each other.
+
+constexpr int kFirstUserTag = 64;
+
+// Escapes the reserved band [0, 64): would collide with production
+// exchanges on a single-tag-space backend.
+constexpr int kLeakTag = 70;  // SEED(tag-space)
+
+// Two internal channels on the same tag: heartbeat and control frames
+// would cross-match.
+constexpr int kPingTag = 2;
+constexpr int kPongTag = 2;  // SEED(tag-space)

@@ -29,7 +29,10 @@ KNOWN_EVENTS = {
     "halo",
     "pm",
     "poisson",
+    "retry-backoff",
     "step-control",
+    "supervise-relaunch",
+    "supervise-wait",
     "sweep-boundary",
     "sweep-full",
     "sweep-interior",
